@@ -1,0 +1,42 @@
+// Ablation: loop unrolling as a U_R booster.
+//
+// The utilization rate U_R of a candidate cluster suffers from small
+// basic blocks: each control step keeps only a few of the allocated
+// units busy, and every block costs a controller cycle. Unrolling the
+// hot loop enlarges its dataflow block, letting the binding keep units
+// busier. This sweep partitions the digs smoothing kernel at unroll
+// factors 1..8 and reports the utilization, hardware and savings trend.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dsl/lower.h"
+
+int main() {
+  using namespace lopass;
+  bench::PrintHeader("Ablation: hot-loop unrolling (app: digs)");
+
+  const apps::Application app = apps::GetApplication("digs");
+
+  TextTable t;
+  t.set_header({"unroll", "U_R", "cells", "ASIC cyc", "Sav%", "Chg%"});
+  for (int factor : {1, 2, 4, 8}) {
+    dsl::LoweredProgram prog =
+        dsl::CompileWithUnroll(app.dsl_source, factor, /*max_body_stmts=*/32);
+    core::Partitioner part(prog.module, prog.regions, app.options);
+    const core::PartitionResult r = part.Run(app.workload(app.full_scale));
+    const core::AppRow row = r.ToRow(app.name);
+    char util[32], cells[32];
+    std::snprintf(util, sizeof util, "%.3f", row.asic_utilization);
+    std::snprintf(cells, sizeof cells, "%.0f", row.asic_cells);
+    t.add_row({std::to_string(factor), util, cells, std::to_string(r.asic_cycles),
+               FormatPercent(row.saving_percent()),
+               FormatPercent(row.time_change_percent())});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nUnrolling raises the memory-port and multiplier utilization of the\n"
+      "convolution core and amortizes the per-block controller cycle; the\n"
+      "returns diminish once the single memory port saturates.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Baseline comparison: the paper's low-power partitioning vs the
+// classic performance-driven partitioning of the related work ([4]-[9],
+// whose "objective is to meet performance constraints while keeping
+// the system cost as low as possible ... none of them provide power
+// related optimization").
+//
+// Both strategies run on the same six applications with the same
+// designer resource sets; the table contrasts what each buys.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dsl/lower.h"
+
+int main() {
+  using namespace lopass;
+  bench::PrintHeader(
+      "Baseline: low-power (paper) vs performance-driven partitioning");
+
+  TextTable t;
+  t.set_header({"App.", "strategy", "cluster", "rs", "cells", "Sav%", "Chg%"});
+  for (const apps::Application& app : apps::AllApplications()) {
+    const dsl::LoweredProgram prog = dsl::Compile(app.dsl_source);
+    for (const core::Strategy strategy :
+         {core::Strategy::kLowPower, core::Strategy::kPerformance}) {
+      core::PartitionOptions opts = app.options;
+      opts.strategy = strategy;
+      core::Partitioner part(prog.module, prog.regions, opts);
+      const core::PartitionResult r = part.Run(app.workload(app.full_scale));
+      const core::AppRow row = r.ToRow(app.name);
+      char cells[32];
+      std::snprintf(cells, sizeof cells, "%.0f", row.asic_cells);
+      t.add_row({app.name,
+                 strategy == core::Strategy::kLowPower ? "low-power" : "performance",
+                 row.cluster, row.resource_set, cells,
+                 FormatPercent(row.saving_percent()),
+                 FormatPercent(row.time_change_percent())});
+    }
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nThe performance baseline never accepts a slower ASIC, so it leaves\n"
+      "trick unpartitioned and forfeits its ~93%% energy saving; where both\n"
+      "strategies fire, the low-power choice favors leaner, better-utilized\n"
+      "cores over the fastest ones.\n");
+  return 0;
+}

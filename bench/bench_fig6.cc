@@ -1,0 +1,17 @@
+// Regenerates the paper's Fig. 6: per-application energy savings and
+// execution-time change, as a series table and an ASCII bar chart.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/report.h"
+
+int main() {
+  using namespace lopass;
+  bench::PrintHeader("Fig. 6: achieved energy savings and change of execution time");
+
+  std::vector<core::AppRow> rows;
+  for (const bench::AppRun& r : bench::RunAllApps()) rows.push_back(r.row);
+  std::printf("%s", core::RenderFig6(rows).c_str());
+  return 0;
+}

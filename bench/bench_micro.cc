@@ -1,0 +1,117 @@
+// Infrastructure micro-benchmarks (google-benchmark): throughput of the
+// substrates the partitioner is built on — the instruction-set
+// simulator, the cache simulator, the list scheduler and the end-to-end
+// partitioning flow.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/app.h"
+#include "cache/cache_sim.h"
+#include "common/prng.h"
+#include "core/partitioner.h"
+#include "dsl/lower.h"
+#include "interp/interpreter.h"
+#include "isa/codegen.h"
+#include "iss/simulator.h"
+#include "sched/dfg.h"
+#include "sched/list_scheduler.h"
+
+namespace {
+
+using namespace lopass;
+
+const char* kKernel = R"(
+var n;
+array a[4096];
+var acc;
+func main() {
+  var i;
+  acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    acc = acc + a[i & 4095] * 3 + (a[(i * 7) & 4095] >> 2);
+  }
+  return acc;
+})";
+
+void BM_IssThroughput(benchmark::State& state) {
+  const dsl::LoweredProgram p = dsl::Compile(kKernel);
+  const isa::SlProgram prog = isa::Generate(p.module);
+  const std::int64_t n = state.range(0);
+  std::uint64_t instrs = 0;
+  for (auto _ : state) {
+    iss::Simulator sim(p.module, prog, iss::SystemConfig{});
+    sim.SetScalar("n", n);
+    const iss::SimResult r = sim.Run("main");
+    instrs += r.instr_count;
+    benchmark::DoNotOptimize(r.return_value);
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IssThroughput)->Arg(10000)->Arg(100000);
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  const dsl::LoweredProgram p = dsl::Compile(kKernel);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    interp::Interpreter it(p.module);
+    it.SetScalar("n", state.range(0));
+    ops += it.Run("main").steps;
+  }
+  state.counters["ops/s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput)->Arg(10000);
+
+void BM_CacheSim(benchmark::State& state) {
+  cache::CacheSim c(power::CacheGeometry{static_cast<std::uint32_t>(state.range(0)),
+                                          16, 2, 32},
+                    cache::WritePolicy::kWriteBackAllocate);
+  Prng rng(42);
+  std::vector<std::uint32_t> trace;
+  for (int i = 0; i < 4096; ++i) trace.push_back(static_cast<std::uint32_t>(rng.next_below(1 << 16)) & ~3u);
+  std::uint64_t accesses = 0;
+  for (auto _ : state) {
+    for (std::uint32_t a : trace) benchmark::DoNotOptimize(c.Access(a, (a & 4u) != 0));
+    accesses += trace.size();
+  }
+  state.counters["access/s"] = benchmark::Counter(
+      static_cast<double>(accesses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CacheSim)->Arg(1024)->Arg(8192);
+
+void BM_ListSchedulerScaling(benchmark::State& state) {
+  // Synthetic block: a long expression over array loads.
+  std::string expr = "a";
+  for (int i = 0; i < state.range(0); ++i) {
+    expr = "(" + expr + " + m[(a + " + std::to_string(i) + ") & 255] * " +
+           std::to_string(i % 9 + 1) + ")";
+  }
+  const dsl::LoweredProgram p =
+      dsl::Compile("array m[256];\nfunc main(a) { return " + expr + "; }");
+  // Find the biggest block.
+  sched::BlockDfg dfg;
+  for (const ir::BasicBlock& b : p.module.function(0).blocks) {
+    sched::BlockDfg g = sched::BuildBlockDfg(b);
+    if (g.size() > dfg.size()) dfg = std::move(g);
+  }
+  const auto sets = sched::DefaultDesignerSets();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::ListSchedule(dfg, sets[1], power::TechLibrary::Cmos6()).num_steps);
+  }
+  state.counters["ops"] = static_cast<double>(dfg.size());
+}
+BENCHMARK(BM_ListSchedulerScaling)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PartitionerEndToEnd(benchmark::State& state) {
+  const apps::Application app = apps::GetApplication("3d");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::RunApplication(app, 1).partitioned());
+  }
+}
+BENCHMARK(BM_PartitionerEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

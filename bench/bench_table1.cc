@@ -1,0 +1,55 @@
+// Regenerates the paper's Table 1: per-application energy of every core
+// (i-cache, d-cache, memory+bus, µP core, ASIC core) and execution
+// time in cycles, for the initial (I) and partitioned (P) designs,
+// plus the savings / time-change percentages.
+//
+// Absolute joules differ from the paper (all models are reconstructed,
+// DESIGN.md §2/§5); the comparison targets are the *shape*: savings in
+// the 35..94% band with the paper's ordering, time improvements except
+// for trick, hardware < ~16k cells.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/report.h"
+
+int main() {
+  using namespace lopass;
+  bench::PrintHeader(
+      "Table 1: energy dissipation and execution time, initial (I) vs partitioned (P)");
+
+  std::vector<core::AppRow> rows;
+  std::vector<bench::AppRun> runs = bench::RunAllApps();
+  for (const bench::AppRun& r : runs) rows.push_back(r.row);
+
+  TextTable table = core::RenderTable1(rows);
+  std::printf("%s", table.ToString().c_str());
+
+  bench::PrintHeader("Paper reference vs measured (shape comparison)");
+  TextTable cmp;
+  cmp.set_header({"App.", "Sav% paper", "Sav% measured", "Chg% paper", "Chg% measured",
+                  "ASIC cells", "cluster", "resource set"});
+  for (const bench::AppRun& r : runs) {
+    char cells[32];
+    std::snprintf(cells, sizeof cells, "%.0f", r.row.asic_cells);
+    cmp.add_row({r.app.name, FormatPercent(r.app.paper.saving_percent),
+                 FormatPercent(r.row.saving_percent()),
+                 FormatPercent(r.app.paper.time_change_percent),
+                 FormatPercent(r.row.time_change_percent()), cells, r.row.cluster,
+                 r.row.resource_set});
+  }
+  std::printf("%s", cmp.ToString().c_str());
+
+  // Headline claims of the abstract.
+  double min_sav = 0.0, max_sav = -100.0, max_cells = 0.0;
+  for (const bench::AppRun& r : runs) {
+    min_sav = std::min(min_sav, r.row.saving_percent());
+    max_sav = std::max(max_sav, r.row.saving_percent());
+    max_cells = std::max(max_cells, r.row.asic_cells);
+  }
+  std::printf(
+      "\nHeadline: energy savings between %.1f%% and %.1f%% "
+      "(paper: 35%%..94%%), largest core %.0f cells (paper: <16k).\n",
+      -max_sav, -min_sav, max_cells);
+  return 0;
+}

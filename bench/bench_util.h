@@ -1,0 +1,39 @@
+#pragma once
+
+// Shared helpers for the benchmark harness binaries.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "core/partitioner.h"
+
+namespace lopass::bench {
+
+struct AppRun {
+  apps::Application app;
+  core::PartitionResult result;
+  core::AppRow row;
+};
+
+// Runs the full partitioning flow for every paper application at full
+// scale (the Table 1 configuration).
+inline std::vector<AppRun> RunAllApps() {
+  std::vector<AppRun> runs;
+  for (const apps::Application& app : apps::AllApplications()) {
+    AppRun r{app, apps::RunApplication(app), {}};
+    r.row = r.result.ToRow(app.name);
+    runs.push_back(std::move(r));
+  }
+  return runs;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace lopass::bench

@@ -1,0 +1,62 @@
+// Example: power-over-time profile of a partitioned system.
+//
+// Uses the simulator's energy-timeline sampling to compare the µP
+// core's power draw before and after partitioning the digs application:
+// the initial run draws steady power through the whole convolution; the
+// partitioned run shows the short software prologue, the long
+// quiet stretch while the ASIC core owns the computation (the µP is
+// shut down — Eq. 3's premise), and the software epilogue.
+//
+// Output: a CSV (cycle, average power in mW per interval) per variant,
+// ready for any plotting tool.
+//
+// Build & run: cmake --build build && ./build/examples/power_profile
+
+#include <cstdio>
+
+#include "apps/app.h"
+#include "dsl/lower.h"
+
+int main() {
+  using namespace lopass;
+
+  const apps::Application app = apps::GetApplication("digs");
+  dsl::LoweredProgram program = dsl::Compile(app.dsl_source);
+
+  core::PartitionOptions options = app.options;
+  options.initial_config.timeline_interval_cycles = 20000;
+  options.partitioned_config = options.initial_config;
+
+  core::Partitioner partitioner(program.module, program.regions, options);
+  const core::PartitionResult result = partitioner.Run(app.workload(app.full_scale));
+
+  const Duration period = power::TechLibrary::Cmos6().params().clock_period();
+  auto emit = [&](const char* label, const iss::SimResult& run) {
+    std::printf("\n# %s: cycle, avg uP power [mW] over the preceding interval\n",
+                label);
+    std::printf("cycle,up_power_mw\n");
+    Energy prev;
+    Cycles prev_cycle = 0;
+    for (const iss::EnergySample& s : run.timeline) {
+      const double interval_s =
+          static_cast<double>(s.cycle - prev_cycle) * period.seconds;
+      if (interval_s > 0.0) {
+        std::printf("%llu,%.3f\n", static_cast<unsigned long long>(s.cycle),
+                    (s.up_core - prev).joules / interval_s * 1e3);
+      }
+      prev = s.up_core;
+      prev_cycle = s.cycle;
+    }
+  };
+
+  emit("initial (everything on the uP core)", result.initial_run);
+  emit("partitioned (convolution on the ASIC core)", result.partitioned_run);
+
+  std::printf(
+      "\nThe partitioned profile has far fewer samples: the uP core is only\n"
+      "busy for the prologue/epilogue (%llu cycles vs %llu initially);\n"
+      "in between, the ASIC core computes and the uP is shut down.\n",
+      static_cast<unsigned long long>(result.partitioned_run.up_cycles),
+      static_cast<unsigned long long>(result.initial_run.up_cycles));
+  return 0;
+}

@@ -1,0 +1,64 @@
+#pragma once
+
+// The benchmark applications of the paper's evaluation (§4):
+//   3d     — 3D vector computation for motion pictures
+//   MPG    — MPEG-II encoder kernels
+//   ckey   — complex chroma-key algorithm
+//   digs   — smoothing algorithm for digital images
+//   engine — engine control algorithm
+//   trick  — trick animation algorithm
+//
+// The originals are proprietary NEC applications; these are
+// re-implementations in the lopass behavioral DSL whose *profile
+// shapes* (hot-cluster fraction, memory intensity, operation mix,
+// cluster granularity) reproduce what the paper reports for each
+// application (see DESIGN.md §2 and EXPERIMENTS.md).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/partitioner.h"
+#include "core/workload.h"
+
+namespace lopass::apps {
+
+// Paper-reported numbers for one application (Table 1).
+struct PaperReference {
+  double saving_percent = 0.0;      // energy, e.g. -35.21
+  double time_change_percent = 0.0; // execution time, e.g. -17.29
+};
+
+struct Application {
+  std::string name;
+  std::string description;
+  std::string dsl_source;
+  // Builds the input workload; `scale` >= 1 multiplies the problem
+  // size (tests use small scales, the Table 1 bench uses full_scale).
+  std::function<core::Workload(int scale)> workload;
+  int full_scale = 1;
+  // Per-application partitioner settings (designer interaction: F
+  // factor, resource sets, cache adaptation; §3.5 last paragraph).
+  core::PartitionOptions options;
+  PaperReference paper;
+};
+
+// Individual applications.
+Application Make3d();
+Application MakeMpg();
+Application MakeCkey();
+Application MakeDigs();
+Application MakeEngine();
+Application MakeTrick();
+
+// All six, in the paper's Table 1 order.
+std::vector<Application> AllApplications();
+
+// Finds one by name; throws if unknown.
+Application GetApplication(const std::string& name);
+
+// Compiles the app, runs the full partitioning flow at the given scale
+// and returns the result.
+core::PartitionResult RunApplication(const Application& app, int scale = 0);
+
+}  // namespace lopass::apps

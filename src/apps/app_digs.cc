@@ -1,0 +1,95 @@
+#include "apps/app.h"
+
+#include <algorithm>
+
+#include "common/prng.h"
+
+namespace lopass::apps {
+
+// "a smoothing algorithm for digital images" — a 3x3 weighted
+// convolution over a 128-wide image, plus a border pass and a checksum
+// pass. The convolution nest is essentially the whole application
+// (paper: -94.12% energy at the largest hardware cost of the suite,
+// just under 16k cells, and -42.64% time).
+
+namespace {
+
+const char* kSource = R"dsl(
+// --- digs: 3x3 weighted smoothing, 128xH image, Q4 kernel ----------
+var w;          // fixed at 128 (row stride uses << 7)
+var h;
+var k0; var k1; var k2;
+var k3; var k4; var k5;
+var k6; var k7; var k8;
+
+array img[16384];
+array out[16384];
+var checksum;
+
+func main() {
+  var x; var y;
+
+  // Cluster 1 (loop): copy the border rows/columns unchanged.
+  for (x = 0; x < w; x = x + 1) {
+    out[x] = img[x];
+    out[((h - 1) << 7) + x] = img[((h - 1) << 7) + x];
+  }
+
+  // Cluster 2 (loop): the smoothing nest (hot).
+  for (y = 1; y < h - 1; y = y + 1) {
+    var row; var up; var dn;
+    row = y << 7;
+    up = row - 128;
+    dn = row + 128;
+    for (x = 1; x < w - 1; x = x + 1) {
+      var acc;
+      acc = img[up + x - 1] * k0 + img[up + x] * k1 + img[up + x + 1] * k2;
+      acc = acc + img[row + x - 1] * k3 + img[row + x] * k4 + img[row + x + 1] * k5;
+      acc = acc + img[dn + x - 1] * k6 + img[dn + x] * k7 + img[dn + x + 1] * k8;
+      out[row + x] = acc >> 4;
+    }
+  }
+
+  // Cluster 3 (loop): sparse checksum of the interior (strided).
+  checksum = 0;
+  for (y = 1; y < h - 1; y = y + 1) {
+    var row2;
+    row2 = y << 7;
+    for (x = 1; x < w - 1; x = x + 8) {
+      checksum = checksum + out[row2 + x];
+    }
+  }
+  return checksum;
+}
+)dsl";
+
+}  // namespace
+
+Application MakeDigs() {
+  Application app;
+  app.name = "digs";
+  app.description = "3x3 smoothing filter for digital images";
+  app.dsl_source = kSource;
+  app.full_scale = 4;
+  app.workload = [](int scale) {
+    core::Workload w;
+    w.setup = [scale](core::DataTarget& t) {
+      const int h = std::min(128, 24 * scale);
+      t.SetScalar("w", 128);
+      t.SetScalar("h", h);
+      // Gaussian-ish Q4 kernel (sums to 16).
+      t.SetScalar("k0", 1); t.SetScalar("k1", 2); t.SetScalar("k2", 1);
+      t.SetScalar("k3", 2); t.SetScalar("k4", 4); t.SetScalar("k5", 2);
+      t.SetScalar("k6", 1); t.SetScalar("k7", 2); t.SetScalar("k8", 1);
+      Prng rng(0xd195);
+      std::vector<std::int64_t> pix;
+      for (int i = 0; i < 128 * h; ++i) pix.push_back(rng.next_in(0, 255));
+      t.FillArray("img", pix);
+    };
+    return w;
+  };
+  app.paper = {-94.12, -42.64};
+  return app;
+}
+
+}  // namespace lopass::apps

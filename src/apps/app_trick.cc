@@ -1,0 +1,88 @@
+#include "apps/app.h"
+
+namespace lopass::apps {
+
+// "a trick animation algorithm" — a parametric camera/object chase
+// animation evaluated per frame: critically damped easing toward a
+// moving target, nonlinear friction, and perspective projection. The
+// frame loop is one long *serial* division chain, so the whole
+// application is a single big cluster with no small high-U_R
+// sub-clusters — exactly the case the paper reports for "trick": huge
+// energy savings (-94.79%) at the cost of a *slower* execution
+// (+69.64%), because the ASIC's area-efficient sequential divider
+// serializes the recurrence.
+
+namespace {
+
+const char* kSource = R"dsl(
+// --- trick: parametric chase animation, one divide-chain per frame --
+var frames;
+var x; var y; var z;
+var vx; var vy; var vz;
+var tx; var ty; var tz;
+var damp; var zbase;
+var chk;
+var sx; var sy;
+
+func main() {
+  var f;
+  for (f = 0; f < frames; f = f + 1) {
+    var d; var dd;
+
+    // Damped chase toward the target (three divides).
+    vx = vx + (tx - x) / damp;
+    vy = vy + (ty - y) / damp;
+    vz = vz + (tz - z) / damp;
+
+    // Friction on the velocity chain (three divides).
+    vx = vx - vx / 8;
+    vy = vy - vy / 8;
+    vz = vz - vz / 8;
+
+    x = x + vx;
+    y = y + vy;
+    z = z + vz;
+
+    // The target itself eases toward the object (three divides).
+    tx = tx + (x - tx) / 64;
+    ty = ty + (y - ty) / 64;
+    tz = tz + (z - tz) / 64;
+
+    // Perspective projection (three divides).
+    d = z + zbase;
+    if (d < 8) {
+      d = 8;
+    }
+    dd = d / 128 + 1;
+    sx = x / dd;
+    sy = y / dd;
+    chk = chk + sx - sy;
+  }
+  return chk;
+}
+)dsl";
+
+}  // namespace
+
+Application MakeTrick() {
+  Application app;
+  app.name = "trick";
+  app.description = "trick animation: damped chase with perspective projection";
+  app.dsl_source = kSource;
+  app.full_scale = 8;
+  app.workload = [](int scale) {
+    core::Workload w;
+    w.setup = [scale](core::DataTarget& t) {
+      t.SetScalar("frames", 1000 * scale);
+      t.SetScalar("x", 0); t.SetScalar("y", 0); t.SetScalar("z", 4096);
+      t.SetScalar("tx", 900); t.SetScalar("ty", -500); t.SetScalar("tz", 1400);
+      t.SetScalar("damp", 24);
+      t.SetScalar("zbase", 256);
+    };
+    return w;
+  };
+  app.paper = {-94.79, 69.64};
+  return app;
+}
+
+}  // namespace lopass::apps

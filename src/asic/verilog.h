@@ -1,0 +1,31 @@
+#pragma once
+
+// Structural Verilog skeleton emitter for synthesized ASIC cores.
+//
+// Fig. 5's hardware branch ends in RTL logic synthesis; this emitter
+// produces the structural shell a behavioral-compilation backend would
+// hand to it: the core's module interface (shared-bus handshake of
+// Fig. 2a), one instance per allocated functional unit, the steering
+// multiplexers implied by the binding, the register file and the FSM
+// state register sized for the schedule. Functional-unit innards and
+// the per-state control word table are left as `/* ... */` holes — the
+// datapath *structure* (what Fig. 4's GEQ counts) is complete and
+// consistent with the energy/area accounting.
+
+#include <string>
+
+#include "asic/datapath.h"
+#include "asic/synthesis.h"
+
+namespace lopass::asic {
+
+struct VerilogOptions {
+  int data_width = 32;
+  std::string module_name;  // defaults to a sanitized core name
+};
+
+// Emits the structural skeleton for `core` with its `datapath`.
+std::string EmitVerilog(const AsicCore& core, const Datapath& datapath,
+                        const VerilogOptions& options = VerilogOptions{});
+
+}  // namespace lopass::asic

@@ -1,0 +1,134 @@
+#include "cache/cache_sim.h"
+
+#include "common/error.h"
+
+namespace lopass::cache {
+
+namespace {
+std::uint32_t Log2(std::uint32_t x) {
+  std::uint32_t r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+}  // namespace
+
+CacheSim::CacheSim(power::CacheGeometry geometry, WritePolicy policy,
+                   ReplacementPolicy replacement)
+    : geometry_(geometry), policy_(policy), replacement_(replacement) {
+  const std::uint32_t sets = geometry_.num_sets();
+  LOPASS_CHECK(sets > 0, "cache must have at least one set");
+  lines_.assign(static_cast<std::size_t>(sets) * geometry_.associativity, Line{});
+  fifo_next_.assign(sets, 0);
+  offset_bits_ = Log2(geometry_.line_bytes);
+  index_bits_ = Log2(sets);
+}
+
+void CacheSim::Reset() {
+  for (Line& l : lines_) l = Line{};
+  std::fill(fifo_next_.begin(), fifo_next_.end(), 0u);
+  stats_ = CacheStats{};
+  tick_ = 0;
+  rng_state_ = 0x243f6a8885a308d3ull;
+  words_from_mem_ = 0;
+  words_to_mem_ = 0;
+}
+
+bool CacheSim::Access(std::uint32_t address, bool is_write) {
+  ++tick_;
+  const std::uint32_t set = (address >> offset_bits_) & ((1u << index_bits_) - 1u);
+  const std::uint32_t tag = address >> (offset_bits_ + index_bits_);
+  Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.associativity];
+  const std::uint32_t words_per_line = geometry_.line_bytes / 4;
+
+  // Lookup.
+  for (std::uint32_t w = 0; w < geometry_.associativity; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.lru = tick_;
+      if (is_write) {
+        ++stats_.write_hits;
+        if (policy_ == WritePolicy::kWriteBackAllocate) {
+          l.dirty = true;
+        } else {
+          words_to_mem_ += 1;  // write-through
+        }
+      } else {
+        ++stats_.read_hits;
+      }
+      return true;
+    }
+  }
+
+  // Miss.
+  if (is_write) {
+    ++stats_.write_misses;
+  } else {
+    ++stats_.read_misses;
+  }
+
+  if (is_write && policy_ == WritePolicy::kWriteThroughNoAllocate) {
+    words_to_mem_ += 1;
+    return false;  // no allocation
+  }
+
+  // Choose a victim: invalid lines first, then per the replacement
+  // policy.
+  Line* victim = nullptr;
+  for (std::uint32_t w = 0; w < geometry_.associativity; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    switch (replacement_) {
+      case ReplacementPolicy::kLru: {
+        victim = base;
+        for (std::uint32_t w = 1; w < geometry_.associativity; ++w) {
+          if (base[w].lru < victim->lru) victim = &base[w];
+        }
+        break;
+      }
+      case ReplacementPolicy::kFifo: {
+        std::uint32_t& ptr = fifo_next_[set];
+        victim = &base[ptr];
+        ptr = (ptr + 1) % geometry_.associativity;
+        break;
+      }
+      case ReplacementPolicy::kRandom: {
+        // xorshift64*: deterministic, portable.
+        rng_state_ ^= rng_state_ >> 12;
+        rng_state_ ^= rng_state_ << 25;
+        rng_state_ ^= rng_state_ >> 27;
+        const std::uint64_t r = rng_state_ * 0x2545F4914F6CDD1Dull;
+        victim = &base[r % geometry_.associativity];
+        break;
+      }
+    }
+  }
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    words_to_mem_ += words_per_line;
+  }
+  victim->valid = true;
+  victim->dirty = is_write && policy_ == WritePolicy::kWriteBackAllocate;
+  victim->tag = tag;
+  victim->lru = tick_;
+  ++stats_.line_fills;
+  words_from_mem_ += words_per_line;
+  return false;
+}
+
+Energy CacheSim::TotalEnergy(const power::CacheEnergyModel& model) const {
+  Energy e;
+  e += model.read_hit_energy() * static_cast<double>(stats_.read_hits + stats_.read_misses);
+  e += model.write_hit_energy() * static_cast<double>(stats_.write_hits + stats_.write_misses);
+  e += model.line_fill_energy() * static_cast<double>(stats_.line_fills);
+  e += model.writeback_energy() * static_cast<double>(stats_.writebacks);
+  return e;
+}
+
+}  // namespace lopass::cache

@@ -1,0 +1,71 @@
+#include "cache/trace_profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace lopass::cache {
+
+TraceProfiler::TraceProfiler(const power::TechLibrary& lib, std::uint32_t memory_bytes)
+    : lib_(lib), memory_bytes_(memory_bytes) {}
+
+GeometryResult TraceProfiler::Replay(const AccessTrace& trace,
+                                     power::CacheGeometry geometry, WritePolicy policy,
+                                     ReplacementPolicy replacement) const {
+  GeometryResult r;
+  r.geometry = geometry;
+  r.policy = policy;
+
+  CacheSim sim(geometry, policy, replacement);
+  for (const AccessTrace::Access& a : trace.accesses) {
+    sim.Access(a.address, a.is_write);
+  }
+  r.stats = sim.stats();
+
+  const power::CacheEnergyModel cache_model(geometry, lib_.params());
+  const power::MemoryEnergyModel mem_model(memory_bytes_, lib_.params());
+  r.cache_energy = sim.TotalEnergy(cache_model);
+  r.memory_energy =
+      mem_model.read_energy() * static_cast<double>(sim.words_read_from_memory()) +
+      mem_model.write_energy() * static_cast<double>(sim.words_written_to_memory()) +
+      lib_.bus_read_energy() * static_cast<double>(sim.words_read_from_memory()) +
+      lib_.bus_write_energy() * static_cast<double>(sim.words_written_to_memory());
+  return r;
+}
+
+std::vector<GeometryResult> TraceProfiler::Sweep(const AccessTrace& trace,
+                                                 std::uint32_t min_capacity,
+                                                 std::uint32_t max_capacity,
+                                                 std::uint32_t line_bytes) const {
+  std::vector<GeometryResult> out;
+  for (std::uint32_t cap = min_capacity; cap <= max_capacity; cap *= 2) {
+    for (std::uint32_t assoc : {1u, 2u, 4u}) {
+      if (cap < line_bytes * assoc) continue;
+      out.push_back(Replay(trace, power::CacheGeometry{cap, line_bytes, assoc, 32}));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const GeometryResult& a, const GeometryResult& b) {
+    return a.total() < b.total();
+  });
+  return out;
+}
+
+std::string TraceProfiler::Render(const std::vector<GeometryResult>& results) {
+  TextTable t;
+  t.set_header({"capacity", "assoc", "miss rate", "cache E", "mem+bus E", "total E"});
+  for (const GeometryResult& r : results) {
+    char cap[32], mr[32];
+    std::snprintf(cap, sizeof cap, "%uB", r.geometry.capacity_bytes);
+    std::snprintf(mr, sizeof mr, "%.2f%%", 100.0 * r.stats.miss_rate());
+    t.add_row({cap, std::to_string(r.geometry.associativity), mr,
+               FormatEnergy(r.cache_energy), FormatEnergy(r.memory_energy),
+               FormatEnergy(r.total())});
+  }
+  std::ostringstream os;
+  os << "cache design-space sweep (sorted by total energy):\n" << t.ToString();
+  return os.str();
+}
+
+}  // namespace lopass::cache

@@ -1,0 +1,75 @@
+#pragma once
+
+// Trace-driven cache design-space profiler.
+//
+// The paper's design flow (Fig. 5) feeds a "Cache Profiler" preceded by
+// a "Trace Tool" (both from the WARTS suite [17]) into analytical cache
+// energy models. This module reproduces that pair as a standalone
+// utility: record a program's data-access trace once (via
+// interp::TraceSink or any address stream), then replay it over a
+// family of cache geometries to find the energy-optimal configuration
+// for a given partition — exactly the per-partition cache adaptation
+// footnote 4 calls for.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache_sim.h"
+#include "power/cache_energy.h"
+#include "power/tech_library.h"
+
+namespace lopass::cache {
+
+// A recorded word-granular access trace.
+struct AccessTrace {
+  struct Access {
+    std::uint32_t address;
+    bool is_write;
+  };
+  std::vector<Access> accesses;
+
+  void Record(std::uint32_t address, bool is_write) {
+    accesses.push_back({address, is_write});
+  }
+  std::size_t size() const { return accesses.size(); }
+};
+
+// Result of replaying a trace over one geometry.
+struct GeometryResult {
+  power::CacheGeometry geometry;
+  WritePolicy policy = WritePolicy::kWriteBackAllocate;
+  CacheStats stats;
+  // Cache-internal energy plus next-level (memory + bus) energy for the
+  // traffic the cache generated.
+  Energy cache_energy;
+  Energy memory_energy;
+  Energy total() const { return cache_energy + memory_energy; }
+};
+
+class TraceProfiler {
+ public:
+  explicit TraceProfiler(const power::TechLibrary& lib = power::TechLibrary::Cmos6(),
+                         std::uint32_t memory_bytes = 256 * 1024);
+
+  // Replays `trace` over one configuration.
+  GeometryResult Replay(const AccessTrace& trace, power::CacheGeometry geometry,
+                        WritePolicy policy = WritePolicy::kWriteBackAllocate,
+                        ReplacementPolicy replacement = ReplacementPolicy::kLru) const;
+
+  // Sweeps capacities (powers of two within [min,max]) × associativity
+  // {1,2,4}; returns all results sorted by total energy ascending.
+  std::vector<GeometryResult> Sweep(const AccessTrace& trace,
+                                    std::uint32_t min_capacity = 256,
+                                    std::uint32_t max_capacity = 16384,
+                                    std::uint32_t line_bytes = 16) const;
+
+  // ASCII table of sweep results.
+  static std::string Render(const std::vector<GeometryResult>& results);
+
+ private:
+  const power::TechLibrary& lib_;
+  std::uint32_t memory_bytes_;
+};
+
+}  // namespace lopass::cache

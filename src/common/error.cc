@@ -1,0 +1,25 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace lopass {
+
+void ThrowError(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " (" << file << ":" << line << ")";
+  throw Error(os.str());
+}
+
+namespace internal {
+
+std::string FormatCheckMessage(const char* file, int line, const char* expr,
+                               const std::string& detail) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr;
+  if (!detail.empty()) os << " — " << detail;
+  os << " (" << file << ":" << line << ")";
+  return os.str();
+}
+
+}  // namespace internal
+}  // namespace lopass

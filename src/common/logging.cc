@@ -1,0 +1,13 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace lopass {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+}  // namespace lopass

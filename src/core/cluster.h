@@ -1,0 +1,64 @@
+#pragma once
+
+// Cluster decomposition (Fig. 1 step 2).
+//
+// "A cluster in our definition is a set of operations which represents
+// code segments like nested loops, if-then-else constructs, functions
+// etc. ... Decomposition is done by structural information of the
+// initial behavioral description solely." (§3.2)
+//
+// The program is decomposed into a *chain* of clusters (Fig. 2b): the
+// top-level regions of the entry function, in program order. Loops and
+// if-then-else regions are hardware candidates; plain leaves are
+// software-only chain members. A chain leaf whose only operation of
+// note is a single call to a function that is called exactly once in
+// the whole program additionally yields a *function cluster* candidate
+// covering the callee's body (the paper's "functions" clusters).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/module.h"
+#include "ir/region.h"
+
+namespace lopass::core {
+
+using BlockRef = std::pair<ir::FunctionId, ir::BlockId>;
+
+struct Cluster {
+  int id = -1;
+  std::string label;
+  ir::RegionKind kind = ir::RegionKind::kLeaf;
+  ir::RegionId region = ir::kNoRegion;
+  // Blocks covered by the cluster (function clusters reference callee
+  // blocks; the transitive closure over calls is included).
+  std::vector<BlockRef> blocks;
+  // Position in the program-order chain of the entry function.
+  int chain_pos = -1;
+  // True for loops / if-else constructs / single-call functions —
+  // clusters the partitioner may map to the ASIC core.
+  bool hw_candidate = false;
+  // True if the cluster body contains call operations (not
+  // HW-mappable: the datapath cannot call software).
+  bool contains_calls = false;
+  // For function clusters: the callee whose body this cluster covers.
+  ir::FunctionId callee = -1;
+};
+
+struct ClusterChain {
+  // All clusters; chain members first (chain_pos 0..n-1 in order),
+  // followed by extra function-cluster candidates that shadow a chain
+  // position.
+  std::vector<Cluster> clusters;
+  int chain_length = 0;
+
+  const Cluster& at_chain_pos(int pos) const;
+};
+
+// Decomposes the program rooted at `entry` into the cluster chain.
+ClusterChain DecomposeIntoClusters(const ir::Module& module, const ir::RegionTree& regions,
+                                   const std::string& entry = "main");
+
+}  // namespace lopass::core

@@ -1,0 +1,38 @@
+#pragma once
+
+// Hotspot report: where the software implementation spends its cycles
+// and energy, at cluster granularity.
+//
+// This is the designer-facing view behind the pre-selection step
+// (Fig. 1 line 5): the ranking "expected to yield high energy savings"
+// starts from each cluster's share of the initial software cost. The
+// CLI exposes it as --hotspots.
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "iss/simulator.h"
+
+namespace lopass::core {
+
+struct HotspotEntry {
+  int cluster_id = -1;
+  std::string label;
+  bool hw_candidate = false;
+  lopass::Cycles cycles = 0;
+  Energy energy;
+  std::uint64_t instrs = 0;
+  double cycle_share = 0.0;   // of the whole run
+  double energy_share = 0.0;  // of the µP core energy
+};
+
+// Attributes the initial run's per-block costs to the chain's clusters
+// (including shadowing function clusters), sorted by energy descending.
+std::vector<HotspotEntry> ComputeHotspots(const ClusterChain& chain,
+                                          const iss::SimResult& initial);
+
+// ASCII table of the report.
+std::string RenderHotspots(const std::vector<HotspotEntry>& entries);
+
+}  // namespace lopass::core

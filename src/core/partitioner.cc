@@ -1,0 +1,424 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "interp/interpreter.h"
+#include "isa/codegen.h"
+#include "isa/peephole.h"
+#include "sched/dfg.h"
+#include "sched/list_scheduler.h"
+
+namespace lopass::core {
+
+namespace {
+
+// Adapters binding the two execution engines to the Workload interface.
+class InterpTarget : public DataTarget {
+ public:
+  explicit InterpTarget(interp::Interpreter& it) : it_(it) {}
+  void SetScalar(const std::string& name, std::int64_t value) override {
+    it_.SetScalar(name, value);
+  }
+  void FillArray(const std::string& name, std::span<const std::int64_t> values) override {
+    it_.FillArray(name, values);
+  }
+
+ private:
+  interp::Interpreter& it_;
+};
+
+class SimTarget : public DataTarget {
+ public:
+  explicit SimTarget(iss::Simulator& sim) : sim_(sim) {}
+  void SetScalar(const std::string& name, std::int64_t value) override {
+    sim_.SetScalar(name, value);
+  }
+  void FillArray(const std::string& name, std::span<const std::int64_t> values) override {
+    sim_.FillArray(name, values);
+  }
+
+ private:
+  iss::Simulator& sim_;
+};
+
+// U_R weighted by resource size (the variant §3.4 reports does *not*
+// improve partitions — kept for the ablation bench).
+double WeightedUtilization(const asic::UtilizationResult& util,
+                           const power::TechLibrary& lib) {
+  if (util.total_cycles == 0 || util.instance_util.empty()) return 0.0;
+  double num = 0.0, den = 0.0;
+  for (const asic::InstanceUtil& u : util.instance_util) {
+    const double w = lib.spec(u.type).geq;
+    num += w * static_cast<double>(u.active_cycles) / static_cast<double>(util.total_cycles);
+    den += w;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace
+
+double PartitionResult::total_cells() const {
+  double cells = 0.0;
+  for (const PartitionDecision& d : selected) cells += d.core.cells;
+  return cells;
+}
+
+AppRow PartitionResult::ToRow(const std::string& app_name) const {
+  AppRow row;
+  row.app = app_name;
+  row.initial.icache = initial_run.energy.icache;
+  row.initial.dcache = initial_run.energy.dcache;
+  row.initial.mem = initial_run.energy.mem;
+  row.initial.bus = initial_run.energy.bus;
+  row.initial.up_core = initial_run.energy.up_core;
+  row.initial_time.up_cycles = initial_run.up_cycles;
+
+  const iss::SimResult& part = partitioned() ? partitioned_run : initial_run;
+  row.partitioned.icache = part.energy.icache;
+  row.partitioned.dcache = part.energy.dcache;
+  row.partitioned.mem = part.energy.mem;
+  row.partitioned.bus = part.energy.bus;
+  row.partitioned.up_core = part.energy.up_core;
+  row.partitioned.asic_core = asic_energy;
+  row.partitioned_time.up_cycles = part.up_cycles;
+  row.partitioned_time.asic_cycles = asic_cycles;
+
+  row.asic_cells = total_cells();
+  if (!selected.empty()) {
+    row.asic_utilization = selected.front().core.utilization;
+    row.resource_set = selected.front().core.resource_set;
+    std::string labels;
+    for (const PartitionDecision& d : selected) {
+      if (!labels.empty()) labels += " + ";
+      labels += d.cluster_label;
+    }
+    row.cluster = labels;
+  } else {
+    row.cluster = "(none)";
+  }
+  return row;
+}
+
+Partitioner::Partitioner(const ir::Module& module, const ir::RegionTree& regions,
+                         PartitionOptions options, const power::TechLibrary& lib,
+                         const iss::TiwariModel& up_model)
+    : module_(module),
+      regions_(regions),
+      options_(std::move(options)),
+      lib_(lib),
+      up_model_(up_model) {
+  LOPASS_CHECK(!options_.resource_sets.empty(), "at least one resource set required");
+}
+
+PartitionResult Partitioner::Run(const Workload& workload) const {
+  PartitionResult result;
+
+  // --- Fig. 1 line 1: the graph is the IR; build the SL32 program. ----
+  isa::SlProgram program = isa::Generate(module_);
+  if (options_.peephole) isa::Peephole(program);
+
+  // --- profiling (#ex_times, Fig. 4 footnote 14) -----------------------
+  interp::Interpreter profiler(module_);
+  if (workload.setup) {
+    InterpTarget t(profiler);
+    workload.setup(t);
+  }
+  profiler.Run(workload.entry, workload.args);
+  const interp::Profile& profile = profiler.profile();
+
+  // --- initial whole-system simulation ---------------------------------
+  iss::Simulator sim(module_, program, options_.initial_config, lib_, up_model_);
+  if (workload.setup) {
+    SimTarget t(sim);
+    workload.setup(t);
+  }
+  result.initial_run = sim.Run(workload.entry, workload.args);
+  const Energy e0 = result.initial_run.energy.total();
+
+  // --- Fig. 1 line 2: cluster decomposition ----------------------------
+  result.chain = DecomposeIntoClusters(module_, regions_, options_.entry);
+  const ClusterChain& chain = result.chain;
+
+  // --- Fig. 1 lines 3-4: bus-transfer energy (Fig. 3) ------------------
+  BusTrafficAnalyzer traffic(module_, chain, lib_,
+                             options_.initial_config.memory_bytes);
+
+  // --- Fig. 1 line 5: pre-selection ------------------------------------
+  struct Ranked {
+    const Cluster* cluster;
+    double benefit;  // SW energy of the cluster minus transfer energy
+  };
+  std::vector<Ranked> ranked;
+  for (const Cluster& c : chain.clusters) {
+    if (!c.hw_candidate) continue;
+    Energy sw_energy;
+    for (const auto& [fn, b] : c.blocks) {
+      sw_energy += result.initial_run
+                       .block_costs[static_cast<std::size_t>(fn)][static_cast<std::size_t>(b)]
+                       .energy;
+    }
+    const Transfers t = traffic.Compute(c);
+    ranked.push_back(Ranked{&c, sw_energy.joules - t.energy.joules});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) { return a.benefit > b.benefit; });
+  if (static_cast<int>(ranked.size()) > options_.max_preselect) {
+    ranked.resize(static_cast<std::size_t>(options_.max_preselect));
+  }
+
+  // --- Fig. 1 lines 6-13: evaluate cluster × resource set --------------
+  const Energy rest0 = result.initial_run.energy.icache + result.initial_run.energy.dcache +
+                       result.initial_run.energy.mem + result.initial_run.energy.bus;
+
+  auto evaluate = [&](const Cluster& c, const sched::ResourceSet& rs,
+                      const std::unordered_set<int>& hw_now, Energy up_removed,
+                      Energy asic_added, double geq_added) -> ClusterEvaluation {
+    ClusterEvaluation ev;
+    ev.cluster_id = c.id;
+    ev.cluster_label = c.label;
+    ev.resource_set = rs.name;
+    ev.transfers = traffic.Compute(c, options_.use_synergy ? hw_now
+                                                           : std::unordered_set<int>{});
+    ev.e_trans = ev.transfers.energy;
+
+    // Schedule every block of the cluster (Fig. 1 line 8). A resource
+    // set that cannot implement some operation (e.g. no multiplier for
+    // a mul-heavy cluster) makes this pairing infeasible.
+    std::vector<sched::BlockDfg> dfgs;
+    std::vector<sched::BlockSchedule> schedules;
+    std::vector<asic::ScheduledBlock> sblocks;
+    dfgs.reserve(c.blocks.size());
+    schedules.reserve(c.blocks.size());
+    try {
+      for (const auto& [fn, b] : c.blocks) {
+        dfgs.push_back(sched::BuildBlockDfg(module_.function(fn).block(b)));
+        schedules.push_back(
+            sched::ListSchedule(dfgs.back(), rs, lib_, options_.scheduler));
+      }
+    } catch (const Error& e) {
+      ev.feasible = false;
+      ev.reject_reason = e.what();
+      return ev;
+    }
+    for (std::size_t i = 0; i < c.blocks.size(); ++i) {
+      asic::ScheduledBlock sb;
+      sb.dfg = &dfgs[i];
+      sb.schedule = &schedules[i];
+      sb.ex_times = profile.BlockCount(c.blocks[i].first, c.blocks[i].second);
+      sblocks.push_back(sb);
+    }
+    ev.util = asic::ComputeUtilization(sblocks, rs, lib_);
+    ev.u_asic = options_.weighted_utilization ? WeightedUtilization(ev.util, lib_)
+                                              : ev.util.u_core;
+    ev.u_up = result.initial_run.UtilizationOfBlocks(c.blocks);
+    ev.asic_cycles = ev.util.total_cycles;
+    ev.geq = ev.util.geq * 1.10;  // controller share, cf. SynthesisOptions
+
+    // µP-clock-equivalent ASIC cycles (the core runs at the speed of
+    // its slowest instantiated resource).
+    double asic_period = 8e-9;
+    for (int t = 0; t < power::kNumResourceTypes; ++t) {
+      if (ev.util.instances[static_cast<std::size_t>(t)] == 0) continue;
+      asic_period = std::max(
+          asic_period,
+          lib_.spec(static_cast<power::ResourceType>(t)).min_cycle_time.seconds);
+    }
+    const double up_equiv_cycles = static_cast<double>(ev.util.total_cycles) *
+                                   asic_period /
+                                   lib_.params().clock_period().seconds;
+
+    Energy cluster_sw;
+    lopass::Cycles cluster_cycles = 0;
+    std::uint64_t cluster_instrs = 0;
+    for (const auto& [fn, b] : c.blocks) {
+      const iss::BlockCost& bc =
+          result.initial_run.block_costs[static_cast<std::size_t>(fn)][static_cast<std::size_t>(b)];
+      cluster_sw += bc.energy;
+      cluster_cycles += bc.cycles;
+      cluster_instrs += bc.instrs;
+    }
+    ev.sw_cycles = cluster_cycles;
+
+    // Line 9: utilization test (the low-power strategy's gate; the
+    // performance baseline does not use it).
+    if (options_.strategy == Strategy::kLowPower && ev.u_asic <= ev.u_up) {
+      ev.feasible = false;
+      ev.reject_reason = "U_R <= U_uP";
+      return ev;
+    }
+    // Optional hard hardware cap.
+    if (options_.max_cells > 0.0 && ev.geq + geq_added > options_.max_cells) {
+      ev.feasible = false;
+      ev.reject_reason = "exceeds cell cap";
+      return ev;
+    }
+
+    // Lines 11-12: energy estimates.
+    ev.e_asic_estimate = asic::EstimateEnergy(ev.util, lib_) + asic_added;
+    ev.e_up_residual = result.initial_run.energy.up_core - up_removed - cluster_sw;
+    const double instr_frac =
+        result.initial_run.instr_count == 0
+            ? 0.0
+            : static_cast<double>(cluster_instrs) /
+                  static_cast<double>(result.initial_run.instr_count);
+    ev.e_rest = rest0 * (1.0 - std::min(1.0, instr_frac)) + ev.e_trans;
+
+    if (options_.strategy == Strategy::kPerformance) {
+      // Baseline objective: estimated execution time, normalized, plus
+      // the same hardware term.
+      const double transfer_cycles = 2.0 * static_cast<double>(ev.transfers.total_words());
+      const double est_cycles =
+          static_cast<double>(result.initial_run.up_cycles) -
+          static_cast<double>(cluster_cycles) + up_equiv_cycles + transfer_cycles;
+      const double time_term =
+          est_cycles / static_cast<double>(result.initial_run.up_cycles);
+      ev.objective = options_.objective.f * time_term +
+                     options_.objective.g * ((ev.geq + geq_added) / options_.objective.geq_norm);
+      ev.feasible = true;
+      return ev;
+    }
+
+    // Line 13: objective function.
+    const Energy total_est = ev.e_asic_estimate + ev.e_up_residual + ev.e_rest;
+    ev.objective = Objective(total_est, e0, ev.geq + geq_added, options_.objective);
+    ev.feasible = true;
+    return ev;
+  };
+
+  // Greedy selection of up to max_hw_clusters clusters.
+  std::unordered_set<int> selected_ids;
+  std::unordered_set<int> occupied_chain_pos;
+  Energy up_removed;    // µP energy removed by already selected clusters
+  Energy asic_added;    // estimate energy of already selected cores
+  double geq_added = 0.0;
+  double current_of = BaselineObjective(options_.objective);
+  std::vector<const ClusterEvaluation*> winners;
+  std::vector<ClusterEvaluation> kept;  // stable storage for winners
+  kept.reserve(ranked.size() * options_.resource_sets.size() *
+               static_cast<std::size_t>(options_.max_hw_clusters));
+
+  for (int round = 0; round < options_.max_hw_clusters; ++round) {
+    std::optional<ClusterEvaluation> best;
+    for (const Ranked& r : ranked) {
+      const Cluster& c = *r.cluster;
+      if (selected_ids.count(c.id) || occupied_chain_pos.count(c.chain_pos)) continue;
+      for (const sched::ResourceSet& rs : options_.resource_sets) {
+        ClusterEvaluation ev =
+            evaluate(c, rs, selected_ids, up_removed, asic_added, geq_added);
+        if (round == 0) result.evaluations.push_back(ev);
+        if (!ev.feasible) continue;
+        if (!best || ev.objective < best->objective) best = std::move(ev);
+      }
+    }
+    if (!best || best->objective >= current_of) break;
+
+    // Accept.
+    const Cluster& c = chain.clusters[static_cast<std::size_t>(best->cluster_id)];
+    selected_ids.insert(best->cluster_id);
+    occupied_chain_pos.insert(c.chain_pos);
+    Energy cluster_sw;
+    for (const auto& [fn, b] : c.blocks) {
+      cluster_sw += result.initial_run
+                        .block_costs[static_cast<std::size_t>(fn)][static_cast<std::size_t>(b)]
+                        .energy;
+    }
+    up_removed += cluster_sw;
+    asic_added += asic::EstimateEnergy(best->util, lib_);
+    geq_added += best->geq;
+    current_of = best->objective;
+    kept.push_back(std::move(*best));
+    LOPASS_LOG_INFO << "selected cluster '" << kept.back().cluster_label << "' with "
+                    << kept.back().resource_set << " (OF=" << kept.back().objective << ")";
+  }
+
+  if (kept.empty()) {
+    result.partitioned_run = result.initial_run;
+    return result;
+  }
+
+  // --- Fig. 1 line 14: synthesize the winning cores --------------------
+  for (const ClusterEvaluation& ev : kept) {
+    PartitionDecision d;
+    d.cluster_id = ev.cluster_id;
+    d.cluster_label = ev.cluster_label;
+    d.transfers = traffic.Compute(chain.clusters[static_cast<std::size_t>(ev.cluster_id)],
+                                  options_.use_synergy ? selected_ids
+                                                       : std::unordered_set<int>{});
+    // Register file: one register per scalar the cluster touches, plus
+    // pipeline temporaries.
+    const GenUse& gu = traffic.cluster_gen_use(ev.cluster_id);
+    int regs = 2;
+    std::unordered_set<ir::SymbolId> scalars;
+    for (ir::SymbolId s : gu.gen) {
+      if (module_.symbol(s).kind == ir::SymbolKind::kScalar) scalars.insert(s);
+    }
+    for (ir::SymbolId s : gu.use) {
+      if (module_.symbol(s).kind == ir::SymbolKind::kScalar) scalars.insert(s);
+    }
+    regs += static_cast<int>(scalars.size());
+    if (options_.include_interconnect) {
+      // Rebuild the winner's scheduled blocks to derive its datapath
+      // (the evaluation keeps only the utilization result).
+      const Cluster& c = chain.clusters[static_cast<std::size_t>(ev.cluster_id)];
+      const sched::ResourceSet* rs = nullptr;
+      for (const sched::ResourceSet& s : options_.resource_sets) {
+        if (s.name == ev.resource_set) rs = &s;
+      }
+      LOPASS_CHECK(rs != nullptr, "winning resource set disappeared");
+      std::vector<sched::BlockDfg> dfgs;
+      std::vector<sched::BlockSchedule> schedules;
+      std::vector<asic::ScheduledBlock> sblocks;
+      for (const auto& [fn, b] : c.blocks) {
+        dfgs.push_back(sched::BuildBlockDfg(module_.function(fn).block(b)));
+        schedules.push_back(
+            sched::ListSchedule(dfgs.back(), *rs, lib_, options_.scheduler));
+      }
+      for (std::size_t i = 0; i < c.blocks.size(); ++i) {
+        sblocks.push_back(asic::ScheduledBlock{&dfgs[i], &schedules[i], 0});
+      }
+      const asic::Datapath dp = asic::BuildDatapath(sblocks, ev.util, lib_);
+      d.core = asic::Synthesize(ev.cluster_label, ev.resource_set, ev.util, lib_, regs,
+                                asic::SynthesisOptions{}, &dp);
+    } else {
+      d.core = asic::Synthesize(ev.cluster_label, ev.resource_set, ev.util, lib_, regs);
+    }
+    result.asic_cycles += d.core.cycles;
+    result.asic_energy += d.core.refined_energy;
+    result.selected.push_back(std::move(d));
+  }
+
+  // --- Fig. 1 line 15: whole-system partitioned re-estimation ----------
+  iss::HwPartition partition;
+  partition.block_cluster.resize(module_.num_functions());
+  for (std::size_t f = 0; f < module_.num_functions(); ++f) {
+    partition.block_cluster[f].assign(
+        module_.function(static_cast<ir::FunctionId>(f)).blocks.size(), -1);
+  }
+  for (std::size_t k = 0; k < result.selected.size(); ++k) {
+    const PartitionDecision& d = result.selected[k];
+    const Cluster& c = chain.clusters[static_cast<std::size_t>(d.cluster_id)];
+    for (const auto& [fn, b] : c.blocks) {
+      partition.block_cluster[static_cast<std::size_t>(fn)][static_cast<std::size_t>(b)] =
+          static_cast<int>(k);
+    }
+    iss::HwPartition::ClusterIo io;
+    io.entry_words = static_cast<std::uint32_t>(d.transfers.up_to_mem_words);
+    io.exit_words = static_cast<std::uint32_t>(d.transfers.asic_to_mem_words);
+    partition.clusters.push_back(io);
+  }
+
+  const iss::SystemConfig part_config =
+      options_.partitioned_config.value_or(options_.initial_config);
+  iss::Simulator part_sim(module_, program, part_config, lib_, up_model_);
+  if (workload.setup) {
+    SimTarget t(part_sim);
+    workload.setup(t);
+  }
+  result.partitioned_run = part_sim.Run(workload.entry, workload.args, partition);
+  return result;
+}
+
+}  // namespace lopass::core

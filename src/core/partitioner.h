@@ -1,0 +1,139 @@
+#pragma once
+
+// The low-power hardware/software partitioner — the driver implementing
+// Fig. 1 (the partition process) and Fig. 5 (the design flow).
+//
+// Pipeline:
+//   1. build graph / code generation            (Fig. 1 line 1)
+//   2. decompose into clusters                  (line 2)
+//   3. bus-transfer energy per cluster          (lines 3-4, Fig. 3)
+//   4. pre-select N_max clusters                (line 5)
+//   5. per cluster × designer resource set:
+//        list schedule                          (line 8)
+//        utilization rate U_R^core, GEQ_RS      (line 9, Fig. 4)
+//        energy estimates + objective function  (lines 10-13)
+//   6. synthesize the best core(s)              (line 14)
+//   7. gate-level-style energy estimation and
+//      whole-system partitioned re-simulation   (line 15)
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asic/synthesis.h"
+#include "asic/utilization.h"
+#include "core/cluster.h"
+#include "core/dataflow.h"
+#include "core/objective.h"
+#include "core/report.h"
+#include "core/workload.h"
+#include "dsl/lower.h"
+#include "iss/simulator.h"
+#include "sched/resource_set.h"
+
+namespace lopass::core {
+
+// What the partitioner optimizes for.
+//
+// kLowPower is the paper's approach (utilization-gated, energy-driven
+// objective). kPerformance is the classic baseline the related work
+// ([4]-[9]) pursues: move the cluster that buys the most execution
+// time, ignoring energy and the utilization test. Comparing both on
+// the same applications shows what the paper's energy-first objective
+// changes (bench_baseline_comparison).
+enum class Strategy { kLowPower, kPerformance };
+
+struct PartitionOptions {
+  std::string entry = "main";
+  Strategy strategy = Strategy::kLowPower;
+  // N_max^c: number of clusters surviving pre-selection (Fig. 1 line 5).
+  int max_preselect = 8;
+  // How many clusters may be mapped to the ASIC core (greedy).
+  int max_hw_clusters = 1;
+  ObjectiveParams objective;
+  // Hard cap on additional hardware, in cells (0 disables the cap; the
+  // OF's hardware term applies regardless).
+  double max_cells = 0.0;
+  // Designer resource sets ("3 to 5 sets are given", §3.2).
+  std::vector<sched::ResourceSet> resource_sets = sched::DefaultDesignerSets();
+  // List-scheduler refinements (operator chaining etc.).
+  sched::SchedulerOptions scheduler;
+  // Run the SL32 peephole optimizer on the generated program (affects
+  // the software side of every comparison; see bench_ablation_compiler).
+  bool peephole = false;
+  iss::SystemConfig initial_config;
+  // Adapted standard cores for the partitioned system (footnote 4);
+  // defaults to initial_config.
+  std::optional<iss::SystemConfig> partitioned_config;
+  // Ablations.
+  bool use_synergy = true;            // Fig. 3 steps 2/4
+  bool weighted_utilization = false;  // weight u_rs by resource size (§3.4)
+  // Fold the steering-network (mux) area/energy into synthesized cores
+  // (a cost Fig. 4's GEQ omits; see bench_ablation_mux).
+  bool include_interconnect = false;
+};
+
+// Outcome of evaluating one (cluster, resource set) pair.
+struct ClusterEvaluation {
+  int cluster_id = -1;
+  std::string cluster_label;
+  std::string resource_set;
+  double u_asic = 0.0;   // U_R^core
+  double u_up = 0.0;     // U_µP^core over the cluster's blocks
+  double geq = 0.0;      // incl. controller
+  lopass::Cycles asic_cycles = 0;
+  lopass::Cycles sw_cycles = 0;      // cycles the cluster costs in software
+  Energy e_asic_estimate;            // Fig. 1 line 11
+  Energy e_up_residual;              // line 12
+  Energy e_rest;                     // caches + memory + bus (+ E_trans)
+  Energy e_trans;                    // Fig. 3 step 5
+  double objective = 0.0;
+  bool feasible = false;
+  std::string reject_reason;
+  asic::UtilizationResult util;      // kept for synthesis of the winner
+  Transfers transfers;
+};
+
+struct PartitionDecision {
+  int cluster_id = -1;
+  std::string cluster_label;
+  asic::AsicCore core;
+  Transfers transfers;
+};
+
+struct PartitionResult {
+  iss::SimResult initial_run;
+  iss::SimResult partitioned_run;  // equals initial_run when nothing selected
+  std::vector<PartitionDecision> selected;
+  lopass::Cycles asic_cycles = 0;
+  Energy asic_energy;
+  std::vector<ClusterEvaluation> evaluations;
+  ClusterChain chain;
+
+  bool partitioned() const { return !selected.empty(); }
+  double total_cells() const;
+  // Builds the Table 1 row for this application.
+  AppRow ToRow(const std::string& app_name) const;
+};
+
+class Partitioner {
+ public:
+  Partitioner(const ir::Module& module, const ir::RegionTree& regions,
+              PartitionOptions options = PartitionOptions{},
+              const power::TechLibrary& lib = power::TechLibrary::Cmos6(),
+              const iss::TiwariModel& up_model = iss::TiwariModel::Sparclite());
+
+  // Runs the full flow of Fig. 5 on the given workload.
+  PartitionResult Run(const Workload& workload) const;
+
+  const PartitionOptions& options() const { return options_; }
+
+ private:
+  const ir::Module& module_;
+  const ir::RegionTree& regions_;
+  PartitionOptions options_;
+  const power::TechLibrary& lib_;
+  const iss::TiwariModel& up_model_;
+};
+
+}  // namespace lopass::core

@@ -1,0 +1,109 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace lopass::core {
+
+namespace {
+
+std::string Cyc(Cycles c) {
+  // Groups digits like the paper: 5,167,958.
+  std::string raw = std::to_string(c);
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+TextTable RenderTable1(const std::vector<AppRow>& rows) {
+  TextTable t;
+  t.set_header({"App.", "", "i-cache", "d-cache", "mem", "uP core", "ASIC core",
+                "total", "Sav%", "uP cyc", "ASIC cyc", "total cyc", "Chg%"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AppRow& r = rows[i];
+    // The paper folds bus energy into the "mem" column.
+    const Energy mem_i = r.initial.mem + r.initial.bus;
+    const Energy mem_p = r.partitioned.mem + r.partitioned.bus;
+    t.add_row({r.app, "I", FormatEnergy(r.initial.icache), FormatEnergy(r.initial.dcache),
+               FormatEnergy(mem_i), FormatEnergy(r.initial.up_core), "n/a",
+               FormatEnergy(r.initial.total()), FormatPercent(r.saving_percent()),
+               Cyc(r.initial_time.up_cycles), "n/a", Cyc(r.initial_time.total()),
+               FormatPercent(r.time_change_percent())});
+    t.add_row({"", "P", FormatEnergy(r.partitioned.icache),
+               FormatEnergy(r.partitioned.dcache), FormatEnergy(mem_p),
+               FormatEnergy(r.partitioned.up_core), FormatEnergy(r.partitioned.asic_core),
+               FormatEnergy(r.partitioned.total()), "",
+               Cyc(r.partitioned_time.up_cycles), Cyc(r.partitioned_time.asic_cycles),
+               Cyc(r.partitioned_time.total()), ""});
+    if (i + 1 < rows.size()) t.add_separator();
+  }
+  return t;
+}
+
+std::string RenderFig6(const std::vector<AppRow>& rows) {
+  std::ostringstream os;
+  os << "Fig. 6: energy savings and change of total execution time\n";
+  TextTable t;
+  t.set_header({"App.", "Energy Sav%", "Exec-time Chg%", "ASIC cells", "U_R",
+                "resource set", "cluster"});
+  for (const AppRow& r : rows) {
+    char cells[32];
+    std::snprintf(cells, sizeof cells, "%.0f", r.asic_cells);
+    char util[32];
+    std::snprintf(util, sizeof util, "%.3f", r.asic_utilization);
+    t.add_row({r.app, FormatPercent(r.saving_percent()),
+               FormatPercent(r.time_change_percent()), cells, util, r.resource_set,
+               r.cluster});
+  }
+  os << t.ToString();
+
+  // ASCII bar chart, one row per app, |####| scaled to 100%.
+  os << "\n  (bars: '#' energy saving, '%' exec-time reduction, '+' exec-time increase)\n";
+  for (const AppRow& r : rows) {
+    const int sav = static_cast<int>(std::lround(std::fabs(r.saving_percent())));
+    const double chg = r.time_change_percent();
+    const int chg_mag = static_cast<int>(std::lround(std::min(100.0, std::fabs(chg))));
+    os << "  " << r.app << std::string(r.app.size() < 8 ? 8 - r.app.size() : 1, ' ')
+       << "E " << std::string(static_cast<std::size_t>(sav / 2), '#') << ' '
+       << FormatPercent(r.saving_percent()) << "%\n";
+    os << "  " << std::string(8, ' ') << "T "
+       << std::string(static_cast<std::size_t>(chg_mag / 2), chg <= 0 ? '%' : '+') << ' '
+       << FormatPercent(chg) << "%\n";
+  }
+  return os.str();
+}
+
+std::string ToCsv(const std::vector<AppRow>& rows) {
+  std::ostringstream os;
+  os << "app,icache_i,dcache_i,mem_i,bus_i,up_i,total_i,"
+        "icache_p,dcache_p,mem_p,bus_p,up_p,asic_p,total_p,"
+        "cycles_i,up_cycles_p,asic_cycles_p,saving_pct,time_change_pct,"
+        "asic_cells,asic_utilization,resource_set,cluster\n";
+  os.precision(9);
+  for (const AppRow& r : rows) {
+    os << r.app << ',' << r.initial.icache.joules << ',' << r.initial.dcache.joules
+       << ',' << r.initial.mem.joules << ',' << r.initial.bus.joules << ','
+       << r.initial.up_core.joules << ',' << r.initial.total().joules << ','
+       << r.partitioned.icache.joules << ',' << r.partitioned.dcache.joules << ','
+       << r.partitioned.mem.joules << ',' << r.partitioned.bus.joules << ','
+       << r.partitioned.up_core.joules << ',' << r.partitioned.asic_core.joules << ','
+       << r.partitioned.total().joules << ',' << r.initial_time.total() << ','
+       << r.partitioned_time.up_cycles << ',' << r.partitioned_time.asic_cycles << ','
+       << r.saving_percent() << ',' << r.time_change_percent() << ',' << r.asic_cells
+       << ',' << r.asic_utilization << ',' << r.resource_set << ",\"" << r.cluster
+       << "\"\n";
+  }
+  return os.str();
+}
+
+}  // namespace lopass::core

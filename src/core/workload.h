@@ -1,0 +1,32 @@
+#pragma once
+
+// Workload abstraction: how an application's input data ("input stimuli
+// pattern", Fig. 5 footnote 18) is installed before a profiling or
+// simulation run. Both execution engines (interp::Interpreter and
+// iss::Simulator) are adapted to this interface so a single workload
+// definition drives profiling, the initial run and partitioned re-runs.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lopass::core {
+
+// Anything data can be poured into before a run.
+class DataTarget {
+ public:
+  virtual ~DataTarget() = default;
+  virtual void SetScalar(const std::string& name, std::int64_t value) = 0;
+  virtual void FillArray(const std::string& name, std::span<const std::int64_t> values) = 0;
+};
+
+struct Workload {
+  std::string entry = "main";
+  std::vector<std::int64_t> args;
+  // Called before every run to install input data deterministically.
+  std::function<void(DataTarget&)> setup;
+};
+
+}  // namespace lopass::core

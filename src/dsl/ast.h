@@ -1,0 +1,90 @@
+#pragma once
+
+// Abstract syntax tree of the behavioral DSL.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lopass::dsl {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLogicalAnd, kLogicalOr,
+};
+
+enum class UnOp : std::uint8_t { kNeg, kBitNot, kLogicalNot };
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kInt,     // literal
+    kVar,     // scalar reference
+    kIndex,   // array[expr]
+    kCall,    // callee(args...) — user function or builtin min/max/abs
+    kUnary,
+    kBinary,
+  };
+
+  Kind kind = Kind::kInt;
+  int line = 0;
+
+  std::int64_t value = 0;    // kInt
+  std::string name;          // kVar / kIndex array name / kCall callee
+  std::vector<ExprPtr> args; // kCall args; kIndex: [0]=index;
+                             // kUnary: [0]; kBinary: [0],[1]
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    kVarDecl,    // var name (= init)?
+    kArrayDecl,  // array name[len]
+    kAssign,     // name = expr
+    kStore,      // name[index] = expr
+    kIf,         // cond, then_body, else_body
+    kWhile,      // cond, body
+    kFor,        // init(opt), cond(opt), step(opt), body
+    kReturn,     // value(opt)
+    kBreak,      // exit the innermost loop
+    kContinue,   // next iteration of the innermost loop
+    kExpr,       // expression statement (calls)
+  };
+
+  Kind kind = Kind::kVarDecl;
+  int line = 0;
+
+  std::string name;             // decl/assign/store target
+  std::uint32_t array_len = 0;  // kArrayDecl
+  ExprPtr value;                // init/assign/store value, return value, expr
+  ExprPtr index;                // kStore index
+  ExprPtr cond;                 // if/while/for condition
+  StmtPtr init;                 // for init
+  StmtPtr step;                 // for step
+  std::vector<StmtPtr> body;    // if-then / while / for body
+  std::vector<StmtPtr> else_body;
+};
+
+struct FuncDecl {
+  std::string name;
+  int line = 0;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+};
+
+struct Program {
+  // Global declarations (kVarDecl / kArrayDecl statements).
+  std::vector<StmtPtr> globals;
+  std::vector<FuncDecl> functions;
+};
+
+}  // namespace lopass::dsl

@@ -1,0 +1,232 @@
+#include "dsl/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace lopass::dsl {
+
+const char* TokKindName(TokKind k) {
+  switch (k) {
+    case TokKind::kEof: return "<eof>";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kInt: return "integer";
+    case TokKind::kFunc: return "'func'";
+    case TokKind::kVar: return "'var'";
+    case TokKind::kArray: return "'array'";
+    case TokKind::kIf: return "'if'";
+    case TokKind::kElse: return "'else'";
+    case TokKind::kWhile: return "'while'";
+    case TokKind::kFor: return "'for'";
+    case TokKind::kReturn: return "'return'";
+    case TokKind::kBreak: return "'break'";
+    case TokKind::kContinue: return "'continue'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kComma: return "','";
+    case TokKind::kSemi: return "';'";
+    case TokKind::kAssign: return "'='";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kPercent: return "'%'";
+    case TokKind::kAmp: return "'&'";
+    case TokKind::kPipe: return "'|'";
+    case TokKind::kCaret: return "'^'";
+    case TokKind::kTilde: return "'~'";
+    case TokKind::kBang: return "'!'";
+    case TokKind::kAmpAmp: return "'&&'";
+    case TokKind::kPipePipe: return "'||'";
+    case TokKind::kShl: return "'<<'";
+    case TokKind::kShr: return "'>>'";
+    case TokKind::kEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind>& Keywords() {
+  static const std::unordered_map<std::string_view, TokKind> kw = {
+      {"func", TokKind::kFunc},   {"var", TokKind::kVar},
+      {"array", TokKind::kArray}, {"if", TokKind::kIf},
+      {"else", TokKind::kElse},   {"while", TokKind::kWhile},
+      {"for", TokKind::kFor},     {"return", TokKind::kReturn},
+      {"break", TokKind::kBreak}, {"continue", TokKind::kContinue},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1, col = 1;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+  auto push = [&](TokKind k, int l, int c) {
+    Token t;
+    t.kind = k;
+    t.line = l;
+    t.col = c;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && src[i] != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int l = line, cl = col;
+      advance(2);
+      while (i < src.size() && !(src[i] == '*' && peek(1) == '/')) advance();
+      if (i >= src.size()) {
+        LOPASS_THROW("unterminated block comment at line " + std::to_string(l) +
+                     ":" + std::to_string(cl));
+      }
+      advance(2);
+      continue;
+    }
+    const int l = line, cl = col;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[j])) || src[j] == '_')) {
+        ++j;
+      }
+      const std::string_view word = src.substr(i, j - i);
+      Token t;
+      auto it = Keywords().find(word);
+      t.kind = it != Keywords().end() ? it->second : TokKind::kIdent;
+      t.text = std::string(word);
+      t.line = l;
+      t.col = cl;
+      out.push_back(std::move(t));
+      advance(j - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      std::int64_t value = 0;
+      if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        j = i + 2;
+        if (j >= src.size() || !std::isxdigit(static_cast<unsigned char>(src[j]))) {
+          LOPASS_THROW("malformed hex literal at line " + std::to_string(l));
+        }
+        while (j < src.size() && std::isxdigit(static_cast<unsigned char>(src[j]))) {
+          const char d = src[j];
+          const int dv = std::isdigit(static_cast<unsigned char>(d))
+                             ? d - '0'
+                             : std::tolower(static_cast<unsigned char>(d)) - 'a' + 10;
+          value = value * 16 + dv;
+          ++j;
+        }
+      } else {
+        while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) {
+          value = value * 10 + (src[j] - '0');
+          ++j;
+        }
+      }
+      Token t;
+      t.kind = TokKind::kInt;
+      t.value = value;
+      t.line = l;
+      t.col = cl;
+      out.push_back(std::move(t));
+      advance(j - i);
+      continue;
+    }
+
+    auto two = [&](char second, TokKind kk) -> bool {
+      if (peek(1) == second) {
+        push(kk, l, cl);
+        advance(2);
+        return true;
+      }
+      return false;
+    };
+    switch (c) {
+      case '(': push(TokKind::kLParen, l, cl); advance(); break;
+      case ')': push(TokKind::kRParen, l, cl); advance(); break;
+      case '{': push(TokKind::kLBrace, l, cl); advance(); break;
+      case '}': push(TokKind::kRBrace, l, cl); advance(); break;
+      case '[': push(TokKind::kLBracket, l, cl); advance(); break;
+      case ']': push(TokKind::kRBracket, l, cl); advance(); break;
+      case ',': push(TokKind::kComma, l, cl); advance(); break;
+      case ';': push(TokKind::kSemi, l, cl); advance(); break;
+      case '+': push(TokKind::kPlus, l, cl); advance(); break;
+      case '-': push(TokKind::kMinus, l, cl); advance(); break;
+      case '*': push(TokKind::kStar, l, cl); advance(); break;
+      case '/': push(TokKind::kSlash, l, cl); advance(); break;
+      case '%': push(TokKind::kPercent, l, cl); advance(); break;
+      case '^': push(TokKind::kCaret, l, cl); advance(); break;
+      case '~': push(TokKind::kTilde, l, cl); advance(); break;
+      case '&':
+        if (!two('&', TokKind::kAmpAmp)) { push(TokKind::kAmp, l, cl); advance(); }
+        break;
+      case '|':
+        if (!two('|', TokKind::kPipePipe)) { push(TokKind::kPipe, l, cl); advance(); }
+        break;
+      case '=':
+        if (!two('=', TokKind::kEq)) { push(TokKind::kAssign, l, cl); advance(); }
+        break;
+      case '!':
+        if (!two('=', TokKind::kNe)) { push(TokKind::kBang, l, cl); advance(); }
+        break;
+      case '<':
+        if (!two('<', TokKind::kShl) && !two('=', TokKind::kLe)) {
+          push(TokKind::kLt, l, cl);
+          advance();
+        }
+        break;
+      case '>':
+        if (!two('>', TokKind::kShr) && !two('=', TokKind::kGe)) {
+          push(TokKind::kGt, l, cl);
+          advance();
+        }
+        break;
+      default:
+        LOPASS_THROW(std::string("unexpected character '") + c + "' at line " +
+                     std::to_string(l) + ":" + std::to_string(cl));
+    }
+  }
+  Token eof;
+  eof.kind = TokKind::kEof;
+  eof.line = line;
+  eof.col = col;
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace lopass::dsl

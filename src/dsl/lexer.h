@@ -1,0 +1,46 @@
+#pragma once
+
+// Lexer for the lopass behavioral DSL — the "behavioral description" an
+// application arrives in (Fig. 5 box "Application"). The language is a
+// small C subset: int scalars/arrays, functions, for/while/if,
+// expressions with C operator precedence, plus min/max/abs builtins.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lopass::dsl {
+
+enum class TokKind : std::uint8_t {
+  kEof,
+  kIdent,
+  kInt,
+  // Keywords.
+  kFunc, kVar, kArray, kIf, kElse, kWhile, kFor, kReturn, kBreak, kContinue,
+  // Punctuation / operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi,
+  kAssign,                  // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kAmpAmp, kPipePipe,
+  kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+const char* TokKindName(TokKind k);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;        // identifier spelling
+  std::int64_t value = 0;  // integer literal value
+  int line = 0;
+  int col = 0;
+};
+
+// Tokenizes `source`; throws lopass::Error on malformed input. `//` and
+// `/* */` comments are skipped. Integer literals may be decimal or 0x hex.
+std::vector<Token> Tokenize(std::string_view source);
+
+}  // namespace lopass::dsl

@@ -1,0 +1,35 @@
+#pragma once
+
+// Lowering from the DSL AST to the lopass IR.
+//
+// Produces (a) the operation graph G = {V, E} (Fig. 1 step 1) and (b)
+// the structural region tree used for cluster decomposition (Fig. 1
+// step 2). Expression temporaries become block-local virtual
+// registers; named variables become module symbols so that the gen/use
+// analysis of Fig. 3 sees exactly the program's variables and arrays.
+
+#include <string_view>
+
+#include "dsl/ast.h"
+#include "ir/module.h"
+#include "ir/region.h"
+
+namespace lopass::dsl {
+
+struct LoweredProgram {
+  ir::Module module;
+  ir::RegionTree regions;
+};
+
+// Lowers a parsed program. Throws lopass::Error on semantic errors
+// (undeclared identifiers, redeclaration, bad builtin arity, ...).
+LoweredProgram Lower(const Program& ast);
+
+// Convenience: parse + lower + verify + assign addresses.
+LoweredProgram Compile(std::string_view source);
+
+// Parse + AST transforms (loop unrolling) + lower + verify.
+LoweredProgram CompileWithUnroll(std::string_view source, int unroll_factor,
+                                 int max_body_stmts = 16);
+
+}  // namespace lopass::dsl

@@ -1,0 +1,188 @@
+#include "ir/infer_regions.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace lopass::ir {
+
+namespace {
+
+// Reverse postorder over the CFG from the entry.
+std::vector<BlockId> ReversePostorder(const Function& fn) {
+  std::vector<BlockId> order;
+  std::vector<int> state(fn.blocks.size(), 0);  // 0=unseen 1=open 2=done
+  std::vector<std::pair<BlockId, std::size_t>> stack;
+  stack.emplace_back(fn.entry, 0);
+  state[static_cast<std::size_t>(fn.entry)] = 1;
+  while (!stack.empty()) {
+    auto& [b, idx] = stack.back();
+    const auto succs = fn.block(b).successors();
+    if (idx < succs.size()) {
+      const BlockId s = succs[idx++];
+      if (state[static_cast<std::size_t>(s)] == 0) {
+        state[static_cast<std::size_t>(s)] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[static_cast<std::size_t>(b)] = 2;
+      order.push_back(b);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+std::vector<BlockId> ComputeDominators(const Function& fn) {
+  // Cooper/Harvey/Kennedy iterative algorithm.
+  const auto rpo = ReversePostorder(fn);
+  std::vector<int> rpo_index(fn.blocks.size(), -1);
+  for (std::size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+  }
+  const auto preds = fn.ComputePredecessors();
+
+  std::vector<BlockId> idom(fn.blocks.size(), kNoBlock);
+  idom[static_cast<std::size_t>(fn.entry)] = fn.entry;
+
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index[static_cast<std::size_t>(a)] > rpo_index[static_cast<std::size_t>(b)]) {
+        a = idom[static_cast<std::size_t>(a)];
+      }
+      while (rpo_index[static_cast<std::size_t>(b)] > rpo_index[static_cast<std::size_t>(a)]) {
+        b = idom[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : rpo) {
+      if (b == fn.entry) continue;
+      BlockId new_idom = kNoBlock;
+      for (BlockId p : preds[static_cast<std::size_t>(b)]) {
+        if (idom[static_cast<std::size_t>(p)] == kNoBlock) continue;  // not yet processed
+        new_idom = new_idom == kNoBlock ? p : intersect(new_idom, p);
+      }
+      if (new_idom != kNoBlock && idom[static_cast<std::size_t>(b)] != new_idom) {
+        idom[static_cast<std::size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+std::vector<NaturalLoop> FindNaturalLoops(const Function& fn) {
+  const auto idom = ComputeDominators(fn);
+  const auto preds = fn.ComputePredecessors();
+
+  auto dominates = [&](BlockId a, BlockId b) {
+    // Walk b's dominator chain up to the entry.
+    BlockId cur = b;
+    for (;;) {
+      if (cur == a) return true;
+      if (cur == fn.entry || cur == kNoBlock) return cur == a;
+      cur = idom[static_cast<std::size_t>(cur)];
+    }
+  };
+
+  // Collect loop bodies per header.
+  std::vector<std::unordered_set<BlockId>> body_of(fn.blocks.size());
+  std::vector<bool> is_header(fn.blocks.size(), false);
+  for (const BasicBlock& b : fn.blocks) {
+    if (idom[static_cast<std::size_t>(b.id)] == kNoBlock && b.id != fn.entry) {
+      continue;  // unreachable
+    }
+    for (BlockId s : b.successors()) {
+      if (!dominates(s, b.id)) continue;  // not a back edge
+      // Natural loop of back edge b->s: everything reaching b without
+      // passing through s.
+      auto& body = body_of[static_cast<std::size_t>(s)];
+      is_header[static_cast<std::size_t>(s)] = true;
+      body.insert(s);
+      std::vector<BlockId> work{b.id};
+      while (!work.empty()) {
+        const BlockId n = work.back();
+        work.pop_back();
+        if (!body.insert(n).second) continue;
+        for (BlockId p : preds[static_cast<std::size_t>(n)]) work.push_back(p);
+      }
+    }
+  }
+
+  std::vector<NaturalLoop> loops;
+  for (std::size_t h = 0; h < fn.blocks.size(); ++h) {
+    if (!is_header[h]) continue;
+    NaturalLoop l;
+    l.header = static_cast<BlockId>(h);
+    l.blocks.assign(body_of[h].begin(), body_of[h].end());
+    std::sort(l.blocks.begin(), l.blocks.end());
+    loops.push_back(std::move(l));
+  }
+  std::sort(loops.begin(), loops.end(), [](const NaturalLoop& a, const NaturalLoop& b) {
+    if (a.blocks.size() != b.blocks.size()) return a.blocks.size() > b.blocks.size();
+    return a.header < b.header;
+  });
+  return loops;
+}
+
+RegionTree InferRegions(const Module& module) {
+  RegionTree tree;
+  for (const Function& fn : module.functions()) {
+    const RegionId root =
+        tree.AddNode(RegionKind::kFunction, fn.id, kNoRegion, "func " + fn.name);
+    tree.SetFunctionRoot(fn.id, root);
+
+    const auto loops = FindNaturalLoops(fn);
+
+    // loops_of[b]: indices of the loops containing b, outermost
+    // (largest body) first.
+    std::vector<std::vector<std::size_t>> loops_of(fn.blocks.size());
+    for (std::size_t li = 0; li < loops.size(); ++li) {
+      for (BlockId b : loops[li].blocks) {
+        loops_of[static_cast<std::size_t>(b)].push_back(li);  // li sorted by size desc
+      }
+    }
+
+    // Walk blocks in program (id) order so that top-level children of
+    // the root — loops and leaves alike — appear in execution order
+    // (the cluster chain relies on it). Loop regions are created
+    // lazily when their first block is reached; inner loops become
+    // children of the enclosing loop's region.
+    std::vector<RegionId> loop_region(loops.size(), kNoRegion);
+    RegionId open_leaf = kNoRegion;
+    for (const BasicBlock& b : fn.blocks) {
+      const auto& chain = loops_of[static_cast<std::size_t>(b.id)];
+      if (chain.empty()) {
+        if (open_leaf == kNoRegion) {
+          open_leaf = tree.AddNode(RegionKind::kLeaf, fn.id, root, "leaf");
+        }
+        tree.AddBlock(open_leaf, b.id);
+        continue;
+      }
+      open_leaf = kNoRegion;
+      RegionId parent = root;
+      for (std::size_t li : chain) {
+        if (loop_region[li] == kNoRegion) {
+          loop_region[li] = tree.AddNode(RegionKind::kLoop, fn.id, parent,
+                                         "loop@bb" + std::to_string(loops[li].header));
+        }
+        parent = loop_region[li];
+      }
+      // `parent` is now the innermost loop's region.
+      tree.AddBlock(parent, b.id);
+    }
+  }
+  tree.ComputeLoopDepths();
+  return tree;
+}
+
+}  // namespace lopass::ir

@@ -1,0 +1,38 @@
+#pragma once
+
+// Structural region inference for programmatic IR.
+//
+// The DSL frontend records the region tree while lowering; IR built
+// directly through FunctionBuilder has none. This pass reconstructs the
+// loop structure from the CFG — dominator analysis, back edges, natural
+// loops, containment nesting — so cluster decomposition (and therefore
+// the whole partitioner) works on hand-built modules too. If-then-else
+// diamonds are not recovered (they remain part of the enclosing leaf or
+// loop), which only reduces the candidate set; loops are what matter
+// for the paper's workloads.
+
+#include <vector>
+
+#include "ir/module.h"
+#include "ir/region.h"
+
+namespace lopass::ir {
+
+// Immediate dominators per block (entry's idom is itself). Index =
+// block id; unreachable blocks get kNoBlock.
+std::vector<BlockId> ComputeDominators(const Function& fn);
+
+// A natural loop: header plus body (header included).
+struct NaturalLoop {
+  BlockId header = kNoBlock;
+  std::vector<BlockId> blocks;  // sorted ascending, includes header
+};
+
+// Natural loops of `fn`, merged per header, sorted outermost first
+// (larger bodies first).
+std::vector<NaturalLoop> FindNaturalLoops(const Function& fn);
+
+// Builds a region tree for the whole module from CFG structure alone.
+RegionTree InferRegions(const Module& module);
+
+}  // namespace lopass::ir

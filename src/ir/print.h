@@ -1,0 +1,17 @@
+#pragma once
+
+// Textual dump of IR modules/functions for debugging and golden tests.
+
+#include <string>
+
+#include "ir/module.h"
+#include "ir/region.h"
+
+namespace lopass::ir {
+
+std::string ToString(const Module& m);
+std::string ToString(const Module& m, const Function& f);
+std::string ToString(const Module& m, const Instr& in);
+std::string ToString(const RegionTree& tree, FunctionId fn);
+
+}  // namespace lopass::ir

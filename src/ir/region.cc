@@ -1,0 +1,84 @@
+#include "ir/region.h"
+
+namespace lopass::ir {
+
+const char* RegionKindName(RegionKind k) {
+  switch (k) {
+    case RegionKind::kFunction: return "function";
+    case RegionKind::kSequence: return "sequence";
+    case RegionKind::kLoop: return "loop";
+    case RegionKind::kIfElse: return "ifelse";
+    case RegionKind::kLeaf: return "leaf";
+  }
+  return "?";
+}
+
+RegionId RegionTree::AddNode(RegionKind kind, FunctionId fn, RegionId parent,
+                             const std::string& label) {
+  RegionNode n;
+  n.id = static_cast<RegionId>(nodes_.size());
+  n.kind = kind;
+  n.function = fn;
+  n.parent = parent;
+  n.label = label;
+  nodes_.push_back(std::move(n));
+  const RegionId id = static_cast<RegionId>(nodes_.size() - 1);
+  if (parent != kNoRegion) node_mutable(parent).children.push_back(id);
+  return id;
+}
+
+void RegionTree::AddBlock(RegionId region, BlockId block) {
+  node_mutable(region).blocks.push_back(block);
+}
+
+const RegionNode& RegionTree::node(RegionId id) const {
+  LOPASS_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(), "bad region id");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+RegionNode& RegionTree::node_mutable(RegionId id) {
+  LOPASS_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(), "bad region id");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+void RegionTree::SetFunctionRoot(FunctionId fn, RegionId root) {
+  if (static_cast<std::size_t>(fn) >= function_roots_.size()) {
+    function_roots_.resize(static_cast<std::size_t>(fn) + 1, kNoRegion);
+  }
+  function_roots_[static_cast<std::size_t>(fn)] = root;
+}
+
+RegionId RegionTree::function_root(FunctionId fn) const {
+  LOPASS_CHECK(fn >= 0 && static_cast<std::size_t>(fn) < function_roots_.size(),
+               "function has no region root");
+  return function_roots_[static_cast<std::size_t>(fn)];
+}
+
+std::vector<BlockId> RegionTree::CoveredBlocks(RegionId id) const {
+  std::vector<BlockId> out;
+  std::vector<RegionId> stack{id};
+  while (!stack.empty()) {
+    const RegionId cur = stack.back();
+    stack.pop_back();
+    const RegionNode& n = node(cur);
+    out.insert(out.end(), n.blocks.begin(), n.blocks.end());
+    // Push children in reverse so program order is preserved.
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+void RegionTree::ComputeLoopDepths() {
+  for (RegionNode& n : nodes_) {
+    int depth = 0;
+    RegionId p = n.parent;
+    if (n.kind == RegionKind::kLoop) ++depth;
+    while (p != kNoRegion) {
+      if (node(p).kind == RegionKind::kLoop) ++depth;
+      p = node(p).parent;
+    }
+    n.loop_depth = depth;
+  }
+}
+
+}  // namespace lopass::ir

@@ -1,0 +1,72 @@
+#pragma once
+
+// Structural region tree.
+//
+// The paper decomposes the application into clusters — "code segments
+// like nested loops, if-then-else constructs, functions etc." — using
+// "structural information of the initial behavioral description solely"
+// (section 3.2). The DSL frontend therefore records, while lowering, a
+// tree of structural regions over the basic blocks of each function.
+// The clusterer (core/cluster.h) walks this tree.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace lopass::ir {
+
+using RegionId = std::int32_t;
+constexpr RegionId kNoRegion = -1;
+
+enum class RegionKind : std::uint8_t {
+  kFunction,  // a whole function body
+  kSequence,  // straight-line grouping of children
+  kLoop,      // for/while loop (children = body)
+  kIfElse,    // two-armed conditional (children = arms)
+  kLeaf,      // one or more basic blocks with no inner structure
+};
+
+const char* RegionKindName(RegionKind k);
+
+struct RegionNode {
+  RegionId id = kNoRegion;
+  RegionKind kind = RegionKind::kLeaf;
+  FunctionId function = -1;
+  RegionId parent = kNoRegion;
+  std::string label;                // human-readable, e.g. "for@line12"
+  std::vector<RegionId> children;   // in program order
+  std::vector<BlockId> blocks;      // blocks owned *directly* by this node
+  // Loop nesting depth (0 = not inside any loop).
+  int loop_depth = 0;
+};
+
+class RegionTree {
+ public:
+  RegionId AddNode(RegionKind kind, FunctionId fn, RegionId parent,
+                   const std::string& label);
+
+  void AddBlock(RegionId region, BlockId block);
+
+  const RegionNode& node(RegionId id) const;
+  RegionNode& node_mutable(RegionId id);
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<RegionNode>& nodes() const { return nodes_; }
+
+  void SetFunctionRoot(FunctionId fn, RegionId root);
+  RegionId function_root(FunctionId fn) const;
+
+  // All basic blocks covered by a region, including children, in
+  // discovery order.
+  std::vector<BlockId> CoveredBlocks(RegionId id) const;
+
+  // Recomputes loop_depth for every node from the tree structure.
+  void ComputeLoopDepths();
+
+ private:
+  std::vector<RegionNode> nodes_;
+  std::vector<RegionId> function_roots_;
+};
+
+}  // namespace lopass::ir

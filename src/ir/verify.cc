@@ -1,0 +1,108 @@
+#include "ir/verify.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace lopass::ir {
+
+namespace {
+
+[[noreturn]] void Fail(const Function& f, BlockId b, std::size_t idx,
+                       const std::string& msg) {
+  std::ostringstream os;
+  os << "IR verification failed in function '" << f.name << "', block " << b
+     << ", instr " << idx << ": " << msg;
+  LOPASS_THROW(os.str());
+}
+
+void VerifyFunction(const Module& m, const Function& f) {
+  if (f.blocks.empty()) {
+    LOPASS_THROW("IR verification failed: function '" + f.name + "' has no blocks");
+  }
+  if (f.entry == kNoBlock) {
+    LOPASS_THROW("IR verification failed: function '" + f.name + "' has no entry");
+  }
+  for (const BasicBlock& b : f.blocks) {
+    if (b.instrs.empty() || !IsTerminator(b.instrs.back().op)) {
+      Fail(f, b.id, b.instrs.size(), "block does not end in a terminator");
+    }
+    std::unordered_set<VregId> defined;
+    for (std::size_t i = 0; i < b.instrs.size(); ++i) {
+      const Instr& in = b.instrs[i];
+      if (IsTerminator(in.op) && i + 1 != b.instrs.size()) {
+        Fail(f, b.id, i, "terminator in the middle of a block");
+      }
+      const int arity = OpcodeArity(in.op);
+      if (arity >= 0 && static_cast<int>(in.args.size()) != arity) {
+        Fail(f, b.id, i, std::string("wrong arity for ") + OpcodeName(in.op));
+      }
+      if (in.op == Opcode::kRet && in.args.size() > 1) {
+        Fail(f, b.id, i, "ret takes at most one operand");
+      }
+      for (const Operand& a : in.args) {
+        if (a.is_vreg()) {
+          if (a.vreg < 0 || a.vreg >= f.next_vreg) {
+            Fail(f, b.id, i, "operand vreg out of range");
+          }
+          if (!defined.count(a.vreg)) {
+            Fail(f, b.id, i, "vreg used before defined within block (cross-block "
+                             "vreg liveness is not allowed; use variables)");
+          }
+        }
+      }
+      if (in.result != kNoVreg) defined.insert(in.result);
+
+      // Branch targets.
+      if (in.op == Opcode::kBr || in.op == Opcode::kCondBr) {
+        auto check_target = [&](BlockId t) {
+          if (t < 0 || static_cast<std::size_t>(t) >= f.blocks.size()) {
+            Fail(f, b.id, i, "branch target out of range");
+          }
+        };
+        check_target(in.target0);
+        if (in.op == Opcode::kCondBr) check_target(in.target1);
+      }
+
+      // Symbol references.
+      switch (in.op) {
+        case Opcode::kReadVar:
+        case Opcode::kWriteVar:
+          if (in.sym == kNoSymbol || m.symbol(in.sym).kind != SymbolKind::kScalar) {
+            Fail(f, b.id, i, "readvar/writevar needs a scalar symbol");
+          }
+          break;
+        case Opcode::kLoadElem:
+        case Opcode::kStoreElem:
+          if (in.sym == kNoSymbol || m.symbol(in.sym).kind != SymbolKind::kArray) {
+            Fail(f, b.id, i, "loadelem/storeelem needs an array symbol");
+          }
+          break;
+        case Opcode::kCall: {
+          if (in.sym == kNoSymbol || m.symbol(in.sym).kind != SymbolKind::kFunction) {
+            Fail(f, b.id, i, "call needs a function symbol");
+          }
+          const auto callee = m.FindFunction(m.symbol(in.sym).name);
+          if (!callee) Fail(f, b.id, i, "call target has no body");
+          const Function& cf = m.function(*callee);
+          if (cf.params.size() != in.args.size()) {
+            Fail(f, b.id, i, "call arity does not match callee parameter count");
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Verify(const Module& m) {
+  if (m.num_functions() == 0) {
+    LOPASS_THROW("IR verification failed: module has no functions");
+  }
+  for (const Function& f : m.functions()) VerifyFunction(m, f);
+}
+
+}  // namespace lopass::ir

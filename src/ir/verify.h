@@ -1,0 +1,24 @@
+#pragma once
+
+// IR verifier: checks structural well-formedness of a Module. Run
+// after frontend lowering and before any analysis; throws lopass::Error
+// with a descriptive message on the first violation.
+
+#include "ir/module.h"
+
+namespace lopass::ir {
+
+// Verifies:
+//  - every block ends in exactly one terminator (and has no terminator
+//    in the middle),
+//  - branch targets are in range,
+//  - operand arities match opcodes,
+//  - vreg operands are defined before use within their block or are
+//    block-crossing values materialized through variables (the frontend
+//    never produces cross-block vreg liveness; this is checked),
+//  - symbols referenced by readvar/writevar/loadelem/storeelem/call
+//    exist and have the right kind,
+//  - call targets resolve to functions with matching arity.
+void Verify(const Module& m);
+
+}  // namespace lopass::ir

@@ -1,0 +1,24 @@
+#pragma once
+
+// Code generator: lowers lopass IR to SL32.
+//
+// The generated code has the flavor of a non-optimizing embedded
+// compiler of the paper's era: named variables are memory-resident
+// (every readvar/writevar is a load/store), expression temporaries live
+// in registers with block-local lifetimes, and a local spill area per
+// function absorbs register pressure. Every emitted instruction is
+// attributed to the IR basic block it implements, which lets the
+// simulator account a hardware-mapped cluster's instructions to the
+// ASIC core instead of the µP core.
+
+#include "ir/module.h"
+#include "isa/isa.h"
+
+namespace lopass::isa {
+
+// Generates a linked SL32 program for the whole module. Requires a
+// verified module with assigned addresses. Throws lopass::Error on
+// unsupported constructs.
+SlProgram Generate(const ir::Module& module);
+
+}  // namespace lopass::isa

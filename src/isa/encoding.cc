@@ -1,0 +1,235 @@
+#include "isa/encoding.h"
+
+#include "common/error.h"
+
+namespace lopass::isa {
+
+namespace {
+
+constexpr std::uint32_t kOpShift = 26;
+constexpr std::int64_t kSimm15Min = -(1 << 14);
+constexpr std::int64_t kSimm15Max = (1 << 14) - 1;
+constexpr std::int64_t kSimm21Min = -(1 << 20);
+constexpr std::int64_t kSimm21Max = (1 << 20) - 1;
+constexpr std::int64_t kSimm16Min = -(1 << 15);
+constexpr std::int64_t kSimm16Max = (1 << 15) - 1;
+
+// Field sentinel: the most negative representable value flags "value in
+// the extension word".
+constexpr std::int64_t kExt15 = kSimm15Min;
+constexpr std::int64_t kExt21 = kSimm21Min;
+constexpr std::int64_t kExt16 = kSimm16Min;
+
+std::uint32_t Reg(int r) {
+  LOPASS_CHECK(r >= 0 && r < kNumRegs, "register out of encodable range");
+  return static_cast<std::uint32_t>(r);
+}
+
+std::uint32_t Field(std::int64_t v, int bits) {
+  return static_cast<std::uint32_t>(v) & ((1u << bits) - 1u);
+}
+
+std::int64_t SignExtend(std::uint32_t v, int bits) {
+  const std::uint32_t sign = 1u << (bits - 1);
+  const std::uint32_t mask = (1u << bits) - 1u;
+  std::uint32_t x = v & mask;
+  if (x & sign) x |= ~mask;
+  return static_cast<std::int32_t>(x);
+}
+
+bool IsAluForm(SlOp op) {
+  switch (op) {
+    case SlOp::kAdd:
+    case SlOp::kSub:
+    case SlOp::kAnd:
+    case SlOp::kOr:
+    case SlOp::kXor:
+    case SlOp::kSll:
+    case SlOp::kSrl:
+    case SlOp::kSra:
+    case SlOp::kMul:
+    case SlOp::kDiv:
+    case SlOp::kMod:
+    case SlOp::kMin:
+    case SlOp::kMax:
+    case SlOp::kSeq:
+    case SlOp::kSne:
+    case SlOp::kSlt:
+    case SlOp::kSle:
+    case SlOp::kSgt:
+    case SlOp::kSge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+int Encode(const SlInstr& in, std::vector<std::uint32_t>& out) {
+  const std::uint32_t opw = static_cast<std::uint32_t>(in.op) << kOpShift;
+  switch (in.op) {
+    case SlOp::kNop:
+    case SlOp::kRet:
+      out.push_back(opw);
+      return 1;
+    case SlOp::kLi: {
+      if (in.imm >= kSimm21Min + 1 && in.imm <= kSimm21Max) {
+        out.push_back(opw | (Reg(in.rd) << 21) | Field(in.imm, 21));
+        return 1;
+      }
+      LOPASS_CHECK(in.imm >= INT32_MIN && in.imm <= INT32_MAX,
+                   "LI immediate exceeds 32 bits");
+      out.push_back(opw | (Reg(in.rd) << 21) | Field(kExt21, 21));
+      out.push_back(static_cast<std::uint32_t>(in.imm));
+      return 2;
+    }
+    case SlOp::kLd:
+    case SlOp::kSt: {
+      if (in.imm >= kSimm16Min + 1 && in.imm <= kSimm16Max) {
+        out.push_back(opw | (Reg(in.rd) << 21) | (Reg(in.rs1) << 16) |
+                      Field(in.imm, 16));
+        return 1;
+      }
+      LOPASS_CHECK(in.imm >= INT32_MIN && in.imm <= INT32_MAX,
+                   "memory offset exceeds 32 bits");
+      out.push_back(opw | (Reg(in.rd) << 21) | (Reg(in.rs1) << 16) | Field(kExt16, 16));
+      out.push_back(static_cast<std::uint32_t>(in.imm));
+      return 2;
+    }
+    case SlOp::kBeqz:
+    case SlOp::kBnez: {
+      LOPASS_CHECK(in.target >= 0 && in.target <= kSimm21Max,
+                   "branch target out of range");
+      out.push_back(opw | (Reg(in.rs1) << 21) | Field(in.target, 21));
+      return 1;
+    }
+    case SlOp::kJ:
+    case SlOp::kCall: {
+      LOPASS_CHECK(in.target >= 0 && in.target < (1 << 26), "jump target out of range");
+      out.push_back(opw | Field(in.target, 26));
+      return 1;
+    }
+    default: {
+      LOPASS_CHECK(IsAluForm(in.op), "unencodable opcode");
+      if (!in.use_imm) {
+        out.push_back(opw | (Reg(in.rd) << 20) | (Reg(in.rs1) << 15) |
+                      (Reg(in.rs2) << 10));
+        return 1;
+      }
+      const std::uint32_t base =
+          opw | (1u << 25) | (Reg(in.rd) << 20) | (Reg(in.rs1) << 15);
+      if (in.imm >= kSimm15Min + 1 && in.imm <= kSimm15Max) {
+        out.push_back(base | Field(in.imm, 15));
+        return 1;
+      }
+      LOPASS_CHECK(in.imm >= INT32_MIN && in.imm <= INT32_MAX,
+                   "ALU immediate exceeds 32 bits");
+      out.push_back(base | Field(kExt15, 15));
+      out.push_back(static_cast<std::uint32_t>(in.imm));
+      return 2;
+    }
+  }
+}
+
+SlInstr Decode(std::span<const std::uint32_t> words, int& consumed) {
+  LOPASS_CHECK(!words.empty(), "decode needs at least one word");
+  const std::uint32_t w = words[0];
+  SlInstr in;
+  in.op = static_cast<SlOp>(w >> kOpShift);
+  consumed = 1;
+
+  auto take_ext = [&]() -> std::int64_t {
+    LOPASS_CHECK(words.size() >= 2, "truncated extended instruction");
+    consumed = 2;
+    return static_cast<std::int32_t>(words[1]);
+  };
+
+  switch (in.op) {
+    case SlOp::kNop:
+    case SlOp::kRet:
+      return in;
+    case SlOp::kLi: {
+      in.rd = static_cast<std::int16_t>((w >> 21) & 31u);
+      const std::int64_t f = SignExtend(w, 21);
+      in.imm = (f == kExt21) ? take_ext() : f;
+      return in;
+    }
+    case SlOp::kLd:
+    case SlOp::kSt: {
+      in.rd = static_cast<std::int16_t>((w >> 21) & 31u);
+      in.rs1 = static_cast<std::int16_t>((w >> 16) & 31u);
+      const std::int64_t f = SignExtend(w, 16);
+      in.imm = (f == kExt16) ? take_ext() : f;
+      return in;
+    }
+    case SlOp::kBeqz:
+    case SlOp::kBnez:
+      in.rs1 = static_cast<std::int16_t>((w >> 21) & 31u);
+      in.target = static_cast<std::int32_t>(w & ((1u << 21) - 1u));
+      return in;
+    case SlOp::kJ:
+    case SlOp::kCall:
+      in.target = static_cast<std::int32_t>(w & ((1u << 26) - 1u));
+      return in;
+    default: {
+      LOPASS_CHECK(IsAluForm(in.op), "undecodable opcode");
+      in.rd = static_cast<std::int16_t>((w >> 20) & 31u);
+      in.rs1 = static_cast<std::int16_t>((w >> 15) & 31u);
+      if (w & (1u << 25)) {
+        in.use_imm = true;
+        const std::int64_t f = SignExtend(w, 15);
+        in.imm = (f == kExt15) ? take_ext() : f;
+      } else {
+        in.rs2 = static_cast<std::int16_t>((w >> 10) & 31u);
+      }
+      return in;
+    }
+  }
+}
+
+EncodedProgram EncodeProgram(const SlProgram& program) {
+  EncodedProgram image;
+  image.word_of.reserve(program.code.size());
+  for (const SlInstr& in : program.code) {
+    image.word_of.push_back(static_cast<std::uint32_t>(image.words.size()));
+    Encode(in, image.words);
+  }
+  return image;
+}
+
+std::vector<SlInstr> DecodeProgram(const EncodedProgram& image) {
+  std::vector<SlInstr> out;
+  std::size_t pos = 0;
+  while (pos < image.words.size()) {
+    int consumed = 0;
+    out.push_back(Decode(std::span(image.words).subspan(pos), consumed));
+    pos += static_cast<std::size_t>(consumed);
+  }
+  return out;
+}
+
+bool ArchEqual(const SlInstr& a, const SlInstr& b) {
+  if (a.op != b.op || a.use_imm != b.use_imm) return false;
+  switch (a.op) {
+    case SlOp::kNop:
+    case SlOp::kRet:
+      return true;
+    case SlOp::kLi:
+      return a.rd == b.rd && a.imm == b.imm;
+    case SlOp::kLd:
+    case SlOp::kSt:
+      return a.rd == b.rd && a.rs1 == b.rs1 && a.imm == b.imm;
+    case SlOp::kBeqz:
+    case SlOp::kBnez:
+      return a.rs1 == b.rs1 && a.target == b.target;
+    case SlOp::kJ:
+    case SlOp::kCall:
+      return a.target == b.target;
+    default:
+      if (a.rd != b.rd || a.rs1 != b.rs1) return false;
+      return a.use_imm ? a.imm == b.imm : a.rs2 == b.rs2;
+  }
+}
+
+}  // namespace lopass::isa

@@ -1,0 +1,62 @@
+#pragma once
+
+// SL32 binary encoding.
+//
+// The architectural instruction format is 32 bits wide:
+//
+//   ALU register   [31:26]=op [25]=0 [24:20]=rd [19:15]=rs1 [14:10]=rs2
+//   ALU immediate  [31:26]=op [25]=1 [24:20]=rd [19:15]=rs1 [14:0]=simm15
+//   LI             [31:26]=op [25:21]=rd [20:0]=simm21
+//   LD/ST          [31:26]=op [25:21]=rd [20:16]=rs1 [15:0]=simm16 offset
+//   BEQZ/BNEZ      [31:26]=op [25:21]=rs1 [20:0]=target (instr index)
+//   J/CALL         [31:26]=op [25:0]=target
+//   NOP/RET        [31:26]=op
+//
+// Values that do not fit their field use an *extended format*: bit
+// patterns with the immediate field saturated to the sentinel minimum
+// flag a second 32-bit extension word carrying the full value (the
+// 68k-style escape). Encode() therefore emits one or two words per
+// instruction; Decode() consumes them back. The ISS executes the
+// in-memory SlInstr form; the encoder exists for image emission, size
+// accounting and round-trip validation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace lopass::isa {
+
+// Encodes one instruction into 1 or 2 words appended to `out`.
+// Returns the number of words emitted. Throws on unencodable fields
+// (e.g. register out of range), which indicates a codegen bug.
+int Encode(const SlInstr& in, std::vector<std::uint32_t>& out);
+
+// Decodes one instruction starting at words[0]; sets `consumed` to 1 or
+// 2. Attribution fields (fn/block) are not part of the architectural
+// encoding and come back as defaults.
+SlInstr Decode(std::span<const std::uint32_t> words, int& consumed);
+
+struct EncodedProgram {
+  std::vector<std::uint32_t> words;
+  // word_of[i] = first word index of instruction i (for branch-target
+  // fixups and size accounting).
+  std::vector<std::uint32_t> word_of;
+
+  std::size_t size_bytes() const { return words.size() * 4; }
+};
+
+// Encodes a whole program. Branch/call targets remain *instruction*
+// indices (the decoder restores them as such).
+EncodedProgram EncodeProgram(const SlProgram& program);
+
+// Decodes an encoded image back into instruction form. The result
+// compares equal to the original field-by-field except attribution.
+std::vector<SlInstr> DecodeProgram(const EncodedProgram& image);
+
+// True when the two instructions match in every architectural field
+// (op, registers, immediate, target, imm-flag) — attribution ignored.
+bool ArchEqual(const SlInstr& a, const SlInstr& b);
+
+}  // namespace lopass::isa

@@ -1,0 +1,332 @@
+#include "iss/simulator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace lopass::iss {
+
+using isa::InstrClass;
+using isa::SlInstr;
+using isa::SlOp;
+
+double SimResult::UtilizationOfBlocks(
+    const std::vector<std::pair<ir::FunctionId, ir::BlockId>>& blocks) const {
+  Cycles total = 0;
+  std::array<std::uint64_t, kNumUpResources> active{};
+  for (const auto& [fn, b] : blocks) {
+    const BlockCost& c = block_costs[static_cast<std::size_t>(fn)][static_cast<std::size_t>(b)];
+    total += c.cycles;
+    for (int r = 0; r < kNumUpResources; ++r) active[static_cast<std::size_t>(r)] += c.active_cycles[static_cast<std::size_t>(r)];
+  }
+  if (total == 0) return 0.0;
+  double sum = 0.0;
+  for (int r = 0; r < kNumAveragedUpResources; ++r) {
+    sum += static_cast<double>(active[static_cast<std::size_t>(r)]) / static_cast<double>(total);
+  }
+  return sum / kNumAveragedUpResources;
+}
+
+Simulator::Simulator(const ir::Module& module, const isa::SlProgram& program,
+                     SystemConfig config, const power::TechLibrary& lib,
+                     const TiwariModel& energy)
+    : module_(module), program_(program), config_(config), lib_(lib), energy_(energy) {
+  Reset();
+}
+
+void Simulator::Reset() {
+  memory_.assign(program_.data_size_bytes / 4 + 1, 0);
+  for (const ir::Symbol& s : module_.symbols()) {
+    if (s.kind == ir::SymbolKind::kScalar && s.init != 0) {
+      memory_[s.address / 4] = s.init;
+    }
+  }
+}
+
+ir::SymbolId Simulator::FindGlobal(const std::string& name) const {
+  auto id = module_.FindSymbol(name, -1);
+  if (!id) LOPASS_THROW("no global named '" + name + "'");
+  return *id;
+}
+
+void Simulator::SetScalar(const std::string& name, std::int64_t value) {
+  memory_[module_.symbol(FindGlobal(name)).address / 4] = value;
+}
+
+void Simulator::FillArray(const std::string& name, std::span<const std::int64_t> values) {
+  const ir::Symbol& s = module_.symbol(FindGlobal(name));
+  LOPASS_CHECK(s.kind == ir::SymbolKind::kArray, "FillArray needs an array");
+  LOPASS_CHECK(values.size() <= s.length, "too many initializer values");
+  std::copy(values.begin(), values.end(), memory_.begin() + s.address / 4);
+}
+
+std::int64_t Simulator::GetScalar(const std::string& name) const {
+  return memory_[module_.symbol(FindGlobal(name)).address / 4];
+}
+
+SimResult Simulator::Run(const std::string& fn, std::span<const std::int64_t> args,
+                         const HwPartition& partition, std::uint64_t max_instrs) {
+  const auto fid = module_.FindFunction(fn);
+  if (!fid) LOPASS_THROW("no function named '" + fn + "'");
+  const isa::FuncInfo& entry_fn = program_.function(*fid);
+  const ir::Function& entry_ir = module_.function(*fid);
+  LOPASS_CHECK(args.size() == entry_ir.params.size(), "argument count mismatch");
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    memory_[module_.symbol(entry_ir.params[i]).address / 4] = args[i];
+  }
+
+  cache::CacheSim icache(config_.icache, cache::WritePolicy::kWriteBackAllocate);
+  cache::CacheSim dcache(config_.dcache, config_.dcache_policy);
+  const power::CacheEnergyModel icache_em(config_.icache, lib_.params());
+  const power::CacheEnergyModel dcache_em(config_.dcache, lib_.params());
+  const power::MemoryEnergyModel mem_em(config_.memory_bytes, lib_.params());
+  const std::uint32_t i_line_words = config_.icache.line_bytes / 4;
+  const std::uint32_t d_line_words = config_.dcache.line_bytes / 4;
+
+  SimResult r;
+  r.block_costs.resize(module_.num_functions());
+  for (std::size_t f = 0; f < module_.num_functions(); ++f) {
+    r.block_costs[f].assign(module_.function(static_cast<ir::FunctionId>(f)).blocks.size(),
+                            BlockCost{});
+  }
+  r.cluster_entries.assign(partition.clusters.size(), 0);
+
+  std::array<std::int64_t, isa::kNumRegs> regs{};
+  std::vector<std::uint32_t> call_stack;
+  Cycles next_sample = config_.timeline_interval_cycles;
+  std::uint32_t pc = entry_fn.entry;
+  InstrClass prev_class = InstrClass::kNop;
+  int prev_cluster = -1;
+  std::uint64_t executed = 0;
+
+  // Boundary-transfer accounting: the µP deposits `words` to shared
+  // memory (entry) or reads them back (exit); the ASIC core does the
+  // mirrored access. Charged: µP load/store energy + cycles, two bus
+  // transfers and two memory accesses per word (Fig. 2a scheme).
+  auto account_entry = [&](int cluster) {
+    const std::uint32_t w = partition.clusters[static_cast<std::size_t>(cluster)].entry_words;
+    ++r.cluster_entries[static_cast<std::size_t>(cluster)];
+    r.transfer_words_in += w;
+    r.up_cycles += static_cast<Cycles>(w) * 2;
+    r.energy.up_core += energy_.base_energy(InstrClass::kStore) * static_cast<double>(w);
+    r.energy.bus += (lib_.bus_write_energy() + lib_.bus_read_energy()) * static_cast<double>(w);
+    r.energy.mem += (mem_em.write_energy() + mem_em.read_energy()) * static_cast<double>(w);
+    r.mem_writes += w;
+    r.mem_reads += w;
+  };
+  auto account_exit = [&](int cluster) {
+    const std::uint32_t w = partition.clusters[static_cast<std::size_t>(cluster)].exit_words;
+    r.transfer_words_out += w;
+    r.up_cycles += static_cast<Cycles>(w) * 2;
+    r.energy.up_core += energy_.base_energy(InstrClass::kLoad) * static_cast<double>(w);
+    r.energy.bus += (lib_.bus_write_energy() + lib_.bus_read_energy()) * static_cast<double>(w);
+    r.energy.mem += (mem_em.write_energy() + mem_em.read_energy()) * static_cast<double>(w);
+    r.mem_writes += w;
+    r.mem_reads += w;
+  };
+
+  for (;;) {
+    LOPASS_CHECK(pc < program_.code.size(), "pc out of range");
+    const SlInstr& in = program_.code[pc];
+    if (++executed > max_instrs) LOPASS_THROW("simulator instruction limit exceeded");
+
+    const int cluster = partition.empty() ? -1 : partition.ClusterOf(in.fn, in.block);
+    if (cluster != prev_cluster) {
+      if (prev_cluster >= 0) account_exit(prev_cluster);
+      if (cluster >= 0) account_entry(cluster);
+      prev_cluster = cluster;
+    }
+    const bool sw = cluster < 0;
+
+    Cycles instr_cycles = 0;
+    Energy instr_energy;
+    const InstrClass cls = isa::ClassOf(in.op);
+
+    if (sw) {
+      ++r.instr_count;
+      // Instruction fetch.
+      if (!icache.Access(program_.FetchAddress(pc), /*is_write=*/false)) {
+        const Cycles penalty = 3 + i_line_words;
+        instr_cycles += penalty;
+        instr_energy += energy_.stall_energy_per_cycle() * static_cast<double>(penalty);
+        r.energy.bus += lib_.bus_read_energy() * static_cast<double>(i_line_words);
+        r.energy.mem += mem_em.read_energy() * static_cast<double>(i_line_words);
+        r.mem_reads += i_line_words;
+      }
+      instr_cycles += isa::BaseCycles(in.op);
+      instr_energy += energy_.base_energy(cls) + energy_.overhead(prev_class, cls);
+      prev_class = cls;
+    }
+
+    // --- functional execution -------------------------------------------
+    auto rd_reg = [&](int idx) -> std::int64_t {
+      return idx == isa::kZeroReg ? 0 : regs[static_cast<std::size_t>(idx)];
+    };
+    auto wr_reg = [&](int idx, std::int64_t v) {
+      if (idx != isa::kZeroReg) regs[static_cast<std::size_t>(idx)] = v;
+    };
+    auto src2 = [&]() -> std::int64_t {
+      return in.use_imm ? in.imm : rd_reg(in.rs2);
+    };
+
+    std::uint32_t next_pc = pc + 1;
+    bool taken = false;
+    switch (in.op) {
+      case SlOp::kNop:
+        break;
+      case SlOp::kAdd: wr_reg(in.rd, rd_reg(in.rs1) + src2()); break;
+      case SlOp::kSub: wr_reg(in.rd, rd_reg(in.rs1) - src2()); break;
+      case SlOp::kAnd: wr_reg(in.rd, rd_reg(in.rs1) & src2()); break;
+      case SlOp::kOr: wr_reg(in.rd, rd_reg(in.rs1) | src2()); break;
+      case SlOp::kXor: wr_reg(in.rd, rd_reg(in.rs1) ^ src2()); break;
+      case SlOp::kSll: wr_reg(in.rd, rd_reg(in.rs1) << (src2() & 63)); break;
+      case SlOp::kSrl:
+        wr_reg(in.rd, static_cast<std::int64_t>(
+                          static_cast<std::uint64_t>(rd_reg(in.rs1)) >> (src2() & 63)));
+        break;
+      case SlOp::kSra: wr_reg(in.rd, rd_reg(in.rs1) >> (src2() & 63)); break;
+      case SlOp::kMul: wr_reg(in.rd, rd_reg(in.rs1) * src2()); break;
+      case SlOp::kDiv: {
+        const std::int64_t d = src2();
+        if (d == 0) LOPASS_THROW("division by zero in SL32 program");
+        wr_reg(in.rd, rd_reg(in.rs1) / d);
+        break;
+      }
+      case SlOp::kMod: {
+        const std::int64_t d = src2();
+        if (d == 0) LOPASS_THROW("modulo by zero in SL32 program");
+        wr_reg(in.rd, rd_reg(in.rs1) % d);
+        break;
+      }
+      case SlOp::kMin: wr_reg(in.rd, std::min(rd_reg(in.rs1), src2())); break;
+      case SlOp::kMax: wr_reg(in.rd, std::max(rd_reg(in.rs1), src2())); break;
+      case SlOp::kSeq: wr_reg(in.rd, rd_reg(in.rs1) == src2()); break;
+      case SlOp::kSne: wr_reg(in.rd, rd_reg(in.rs1) != src2()); break;
+      case SlOp::kSlt: wr_reg(in.rd, rd_reg(in.rs1) < src2()); break;
+      case SlOp::kSle: wr_reg(in.rd, rd_reg(in.rs1) <= src2()); break;
+      case SlOp::kSgt: wr_reg(in.rd, rd_reg(in.rs1) > src2()); break;
+      case SlOp::kSge: wr_reg(in.rd, rd_reg(in.rs1) >= src2()); break;
+      case SlOp::kLi: wr_reg(in.rd, in.imm); break;
+      case SlOp::kLd:
+      case SlOp::kSt: {
+        const std::int64_t addr64 = rd_reg(in.rs1) + in.imm;
+        LOPASS_CHECK(addr64 >= 0 && addr64 + 4 <= static_cast<std::int64_t>(memory_.size() * 4),
+                     "data access out of range");
+        const std::uint32_t addr = static_cast<std::uint32_t>(addr64);
+        const bool is_write = in.op == SlOp::kSt;
+        if (sw) {
+          if (!dcache.Access(addr, is_write)) {
+            const bool allocates = !is_write ||
+                                   config_.dcache_policy == cache::WritePolicy::kWriteBackAllocate;
+            if (allocates) {
+              const Cycles penalty = 3 + d_line_words;
+              instr_cycles += penalty;
+              instr_energy += energy_.stall_energy_per_cycle() * static_cast<double>(penalty);
+              r.energy.bus += lib_.bus_read_energy() * static_cast<double>(d_line_words);
+              r.energy.mem += mem_em.read_energy() * static_cast<double>(d_line_words);
+              r.mem_reads += d_line_words;
+            }
+          }
+          if (is_write && config_.dcache_policy == cache::WritePolicy::kWriteThroughNoAllocate) {
+            r.energy.bus += lib_.bus_write_energy();
+            r.energy.mem += mem_em.write_energy();
+            r.mem_writes += 1;
+          }
+        }
+        if (is_write) {
+          memory_[addr / 4] = rd_reg(in.rd);
+        } else {
+          wr_reg(in.rd, memory_[addr / 4]);
+        }
+        break;
+      }
+      case SlOp::kBeqz:
+        if (rd_reg(in.rs1) == 0) { next_pc = static_cast<std::uint32_t>(in.target); taken = true; }
+        break;
+      case SlOp::kBnez:
+        if (rd_reg(in.rs1) != 0) { next_pc = static_cast<std::uint32_t>(in.target); taken = true; }
+        break;
+      case SlOp::kJ:
+        next_pc = static_cast<std::uint32_t>(in.target);
+        break;
+      case SlOp::kCall:
+        call_stack.push_back(pc + 1);
+        next_pc = static_cast<std::uint32_t>(in.target);
+        break;
+      case SlOp::kRet:
+        if (call_stack.empty()) {
+          // Program finished.
+          r.return_value = regs[isa::kRetValReg];
+          // Final accounting for this instruction below, then halt.
+          if (sw) {
+            r.up_cycles += instr_cycles;
+            r.energy.up_core += instr_energy;
+            BlockCost& bc = r.block_costs[static_cast<std::size_t>(in.fn)][static_cast<std::size_t>(in.block)];
+            bc.cycles += instr_cycles;
+            bc.energy += instr_energy;
+            ++bc.instrs;
+          }
+          if (prev_cluster >= 0) account_exit(prev_cluster);
+          goto done;
+        }
+        next_pc = call_stack.back();
+        call_stack.pop_back();
+        break;
+    }
+
+    if (sw) {
+      if (taken) {
+        instr_cycles += 1;  // branch-taken pipeline bubble
+      }
+      r.up_cycles += instr_cycles;
+      r.energy.up_core += instr_energy;
+      if (config_.timeline_interval_cycles > 0 &&
+          r.up_cycles >= next_sample) {
+        r.timeline.push_back(EnergySample{
+            r.up_cycles, r.energy.up_core,
+            r.energy.up_core + r.energy.bus + r.energy.mem});
+        next_sample = r.up_cycles + config_.timeline_interval_cycles;
+      }
+      BlockCost& bc = r.block_costs[static_cast<std::size_t>(in.fn)][static_cast<std::size_t>(in.block)];
+      bc.cycles += instr_cycles;
+      bc.energy += instr_energy;
+      ++bc.instrs;
+      const std::uint32_t mask = energy_.active_resources(cls);
+      const Cycles busy = isa::BaseCycles(in.op);
+      for (int res = 0; res < kNumUpResources; ++res) {
+        if (mask & (1u << res)) {
+          r.active_cycles[static_cast<std::size_t>(res)] += busy;
+          bc.active_cycles[static_cast<std::size_t>(res)] += busy;
+        }
+      }
+    }
+    pc = next_pc;
+  }
+
+done:
+  // Dirty-line flush at program end is not charged (the paper measures
+  // steady application execution).
+  r.icache_stats = icache.stats();
+  r.dcache_stats = dcache.stats();
+  r.energy.icache = icache.TotalEnergy(icache_em);
+  r.energy.dcache = dcache.TotalEnergy(dcache_em);
+  // Dirty-line writebacks from the d-cache reach memory over the bus
+  // (write-through words were charged per access above).
+  const std::uint64_t wb_words =
+      r.dcache_stats.writebacks * static_cast<std::uint64_t>(d_line_words);
+  r.energy.bus += lib_.bus_write_energy() * static_cast<double>(wb_words);
+  r.energy.mem += mem_em.write_energy() * static_cast<double>(wb_words);
+  r.mem_writes += wb_words;
+
+  if (r.up_cycles > 0) {
+    double sum = 0.0;
+    for (int res = 0; res < kNumAveragedUpResources; ++res) {
+      sum += static_cast<double>(r.active_cycles[static_cast<std::size_t>(res)]) /
+             static_cast<double>(r.up_cycles);
+    }
+    r.up_utilization = sum / kNumAveragedUpResources;
+  }
+  return r;
+}
+
+}  // namespace lopass::iss

@@ -1,0 +1,159 @@
+#pragma once
+
+// Cycle-level system simulator: SL32 µP core + I-cache + D-cache +
+// main memory + shared bus (the architecture of Fig. 2a).
+//
+// This is the paper's "Core Energy Estimation" block (Fig. 5): an
+// instruction set simulator with attached per-instruction energy
+// calculation [12], feeding trace-driven cache simulators and the
+// analytical memory/bus energy models.
+//
+// The simulator is partition-aware: blocks that the partitioner mapped
+// to the ASIC core still execute *functionally* (the ASIC performs
+// their computation), but their instruction fetches, data accesses,
+// cycles and energy are not charged to the µP core or its caches.
+// Cluster entry/exit triggers the additional shared-memory transfers of
+// section 3.3 (the µP deposits/reads back data; Fig. 2a bus scheme).
+// The ASIC core's own cycles/energy are modeled by asic/ and added by
+// the partition evaluator in core/.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/cache_sim.h"
+#include "common/units.h"
+#include "ir/module.h"
+#include "isa/isa.h"
+#include "iss/energy_model.h"
+#include "power/cache_energy.h"
+#include "power/tech_library.h"
+
+namespace lopass::iss {
+
+// Cache + memory configuration of one system variant. The paper's
+// footnote 4: the standard cores "have to be adapted efficiently (e.g.
+// size of memory, size of caches, cache policy etc.) according to the
+// particular hw/sw partitioning chosen" — hence a value type that a
+// partition can override.
+struct SystemConfig {
+  power::CacheGeometry icache{2048, 16, 1, 32};
+  power::CacheGeometry dcache{2048, 16, 1, 32};
+  cache::WritePolicy dcache_policy = cache::WritePolicy::kWriteBackAllocate;
+  std::uint32_t memory_bytes = 256 * 1024;
+  // When > 0, SimResult.timeline records a cumulative energy sample
+  // every N µP cycles (a power-over-time profile).
+  lopass::Cycles timeline_interval_cycles = 0;
+};
+
+// Which blocks run on the ASIC core. Cluster indexes are dense ids
+// assigned by the partitioner.
+struct HwPartition {
+  // block_cluster[fn][block] = cluster index, or -1 for software.
+  std::vector<std::vector<int>> block_cluster;
+  struct ClusterIo {
+    // Additional shared-memory transfer words at cluster entry (µP ->
+    // mem, Fig. 3 step 1/2) and exit (mem -> µP, step 3/4).
+    std::uint32_t entry_words = 0;
+    std::uint32_t exit_words = 0;
+  };
+  std::vector<ClusterIo> clusters;
+
+  bool empty() const { return clusters.empty(); }
+  int ClusterOf(ir::FunctionId fn, ir::BlockId b) const {
+    if (block_cluster.empty()) return -1;
+    return block_cluster[static_cast<std::size_t>(fn)][static_cast<std::size_t>(b)];
+  }
+};
+
+// Energy of each core in the system (one Table 1 row-half).
+struct CoreEnergies {
+  Energy up_core;
+  Energy icache;
+  Energy dcache;
+  Energy mem;
+  Energy bus;
+  Energy asic_core;  // filled in by the partition evaluator
+
+  Energy total() const { return up_core + icache + dcache + mem + bus + asic_core; }
+};
+
+// Per-block attribution of software cost, used by the partitioner to
+// estimate E_µP,c_i (Fig. 1 line 12) without re-simulating.
+struct BlockCost {
+  Cycles cycles = 0;
+  Energy energy;
+  std::uint64_t instrs = 0;
+  std::array<std::uint64_t, kNumUpResources> active_cycles{};
+};
+
+// One point of the power-over-time profile.
+struct EnergySample {
+  lopass::Cycles cycle = 0;
+  Energy up_core;   // cumulative µP core energy at this cycle
+  Energy total;     // cumulative µP + bus + memory energy (caches are
+                    // post-processed and excluded from the timeline)
+};
+
+struct SimResult {
+  std::int64_t return_value = 0;
+  std::uint64_t instr_count = 0;      // µP instructions executed (SW only)
+  Cycles up_cycles = 0;               // µP busy cycles incl. stalls
+  CoreEnergies energy;
+  cache::CacheStats icache_stats;
+  cache::CacheStats dcache_stats;
+  // µP resource utilization (Eq. 1/4 applied to the µP core).
+  std::array<std::uint64_t, kNumUpResources> active_cycles{};
+  double up_utilization = 0.0;
+  // Attribution per (function, block).
+  std::vector<std::vector<BlockCost>> block_costs;
+  // Cluster boundary event counts (partitioned runs).
+  std::vector<std::uint64_t> cluster_entries;
+  std::uint64_t transfer_words_in = 0;   // µP -> memory at entries
+  std::uint64_t transfer_words_out = 0;  // memory -> µP at exits
+  // Memory traffic in words (fills, writebacks, boundary transfers).
+  std::uint64_t mem_reads = 0;
+  std::uint64_t mem_writes = 0;
+  // Sampled when SystemConfig::timeline_interval_cycles > 0.
+  std::vector<EnergySample> timeline;
+
+  // Average µP utilization restricted to a set of blocks (the paper's
+  // U_µP^core for a candidate cluster).
+  double UtilizationOfBlocks(
+      const std::vector<std::pair<ir::FunctionId, ir::BlockId>>& blocks) const;
+};
+
+class Simulator {
+ public:
+  Simulator(const ir::Module& module, const isa::SlProgram& program,
+            SystemConfig config,
+            const power::TechLibrary& lib = power::TechLibrary::Cmos6(),
+            const TiwariModel& energy = TiwariModel::Sparclite());
+
+  // Pre-run data initialization (mirrors interp::Interpreter).
+  void Reset();
+  void SetScalar(const std::string& name, std::int64_t value);
+  void FillArray(const std::string& name, std::span<const std::int64_t> values);
+  std::int64_t GetScalar(const std::string& name) const;
+
+  // Runs `fn(args...)` to completion and returns the system accounting.
+  // `partition` marks ASIC-resident blocks (empty = all software).
+  SimResult Run(const std::string& fn, std::span<const std::int64_t> args = {},
+                const HwPartition& partition = HwPartition{},
+                std::uint64_t max_instrs = 2'000'000'000);
+
+ private:
+  ir::SymbolId FindGlobal(const std::string& name) const;
+
+  const ir::Module& module_;
+  const isa::SlProgram& program_;
+  SystemConfig config_;
+  const power::TechLibrary& lib_;
+  const TiwariModel& energy_;
+  std::vector<std::int64_t> memory_;
+};
+
+}  // namespace lopass::iss

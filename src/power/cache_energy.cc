@@ -1,0 +1,101 @@
+#include "power/cache_energy.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lopass::power {
+
+namespace {
+
+bool IsPow2(std::uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+std::uint32_t Log2(std::uint32_t x) {
+  std::uint32_t r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::uint32_t CacheGeometry::tag_bits() const {
+  const std::uint32_t offset_bits = Log2(line_bytes);
+  const std::uint32_t index_bits = Log2(num_sets());
+  return address_bits - offset_bits - index_bits;
+}
+
+CacheEnergyModel::CacheEnergyModel(CacheGeometry geometry, const TechParams& params)
+    : geometry_(geometry), params_(params) {
+  LOPASS_CHECK(IsPow2(geometry_.capacity_bytes), "cache capacity must be a power of two");
+  LOPASS_CHECK(IsPow2(geometry_.line_bytes), "cache line size must be a power of two");
+  LOPASS_CHECK(IsPow2(geometry_.associativity), "associativity must be a power of two");
+  LOPASS_CHECK(geometry_.line_bytes >= 4, "line size must hold at least one word");
+  LOPASS_CHECK(geometry_.capacity_bytes >= geometry_.line_bytes * geometry_.associativity,
+               "cache must hold at least one set");
+
+  // A word access reads `associativity` data words plus all tags of the
+  // set; a line fill writes a whole line plus one tag.
+  const std::uint32_t word_bits = 32;
+  const std::uint32_t read_bits = geometry_.associativity * (word_bits + geometry_.tag_bits());
+  read_hit_ = AccessEnergy(read_bits, /*write=*/false);
+  write_hit_ = AccessEnergy(read_bits, /*write=*/true);
+  line_fill_ = AccessEnergy(geometry_.line_bytes * 8 + geometry_.tag_bits(), /*write=*/true);
+  writeback_ = AccessEnergy(geometry_.line_bytes * 8, /*write=*/false);
+}
+
+Energy CacheEnergyModel::AccessEnergy(std::uint32_t bits_accessed, bool write) const {
+  const double vdd = params_.vdd;
+  const double rows = geometry_.num_sets();
+  const double cols_total =
+      geometry_.associativity * (geometry_.line_bytes * 8.0 + geometry_.tag_bits());
+
+  // Decoder: ~2 gate loads per address bit per decoder level.
+  const double decode_c = 2.0 * std::log2(std::max(rows, 2.0)) * 6.0 * params_.gate_capacitance;
+  const double e_decode = decode_c * vdd * vdd;
+
+  // Wordline: one row's gate capacitances swing rail to rail.
+  const double wl_c = cols_total * params_.wordline_cell_capacitance +
+                      8.0 * params_.gate_capacitance;  // driver
+  const double e_wordline = wl_c * vdd * vdd;
+
+  // Bitlines: every column of the array is precharged and partially
+  // discharged on a read (limited swing); writes drive accessed
+  // columns rail to rail.
+  const double bl_c_per_col = rows * params_.bitline_cell_capacitance;
+  const double read_swing = params_.bitline_swing;
+  double e_bitline;
+  if (write) {
+    const double e_driven = bits_accessed * 2.0 /*both rails*/ * bl_c_per_col * vdd * vdd;
+    const double e_rest = (cols_total - bits_accessed) * bl_c_per_col * vdd * read_swing;
+    e_bitline = e_driven + std::max(0.0, e_rest);
+  } else {
+    e_bitline = cols_total * bl_c_per_col * vdd * read_swing;
+  }
+
+  // Sense amplifiers fire on read columns only.
+  const double e_sense = write ? 0.0 : bits_accessed * params_.sense_amp_energy;
+
+  // Output drivers for the accessed bits.
+  const double e_output = bits_accessed * 4.0 * params_.gate_capacitance * vdd * vdd;
+
+  return Energy{e_decode + e_wordline + e_bitline + e_sense + e_output};
+}
+
+MemoryEnergyModel::MemoryEnergyModel(std::uint32_t capacity_bytes, const TechParams& params)
+    : capacity_bytes_(capacity_bytes) {
+  LOPASS_CHECK(capacity_bytes >= 1024, "memory capacity must be at least 1KB");
+  // Treat the memory as a square array of banks: bitline/wordline
+  // energies grow with the array edge ~ sqrt(capacity). Normalized so
+  // that a 256KB memory costs ~9nJ per word read at 3.3V — a value in
+  // line with 0.8u-era on-board SRAM figures.
+  const double edge = std::sqrt(static_cast<double>(capacity_bytes));
+  const double kReadCoeff = 17.6e-12;  // J per sqrt(byte) at 3.3V
+  const double vscale = (params.vdd * params.vdd) / (3.3 * 3.3);
+  read_ = Energy{kReadCoeff * edge * vscale};
+  write_ = Energy{kReadCoeff * 1.25 * edge * vscale};
+}
+
+}  // namespace lopass::power

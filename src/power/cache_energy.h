@@ -1,0 +1,84 @@
+#pragma once
+
+// Analytical cache energy model.
+//
+// The paper feeds "analytical models for main memory energy consumption
+// and caches ... with the output of a cache profiler" (section 3.5) and
+// parameterizes them with "feature sizes, capacitances of a 0.8u CMOS
+// process" (section 4). WARTS and the original models are unavailable;
+// we reconstruct a Kamble/Ghose-style SRAM access-energy decomposition:
+//
+//   E_access = E_decode + E_wordline + E_bitline + E_senseamp + E_output
+//
+// with all capacitances derived from the TechParams of the library.
+// The model is deliberately simple but monotone in the architectural
+// parameters (capacity, line size, associativity), which is what the
+// partitioner's per-partition re-estimation needs.
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "power/tech_library.h"
+
+namespace lopass::power {
+
+// Architectural description of one cache core.
+struct CacheGeometry {
+  std::uint32_t capacity_bytes = 2048;
+  std::uint32_t line_bytes = 16;
+  std::uint32_t associativity = 1;
+  std::uint32_t address_bits = 32;
+
+  std::uint32_t num_lines() const { return capacity_bytes / line_bytes; }
+  std::uint32_t num_sets() const { return num_lines() / associativity; }
+  std::uint32_t tag_bits() const;
+};
+
+class CacheEnergyModel {
+ public:
+  CacheEnergyModel(CacheGeometry geometry, const TechParams& params);
+
+  // Energy of one hit access (read or write of one word).
+  Energy read_hit_energy() const { return read_hit_; }
+  Energy write_hit_energy() const { return write_hit_; }
+
+  // Energy dissipated inside the cache when filling one line after a
+  // miss (the main-memory and bus energy of the fill is accounted
+  // separately by MemoryEnergyModel / TechLibrary::bus_*).
+  Energy line_fill_energy() const { return line_fill_; }
+
+  // Energy of writing one dirty line back (internal read of the line).
+  Energy writeback_energy() const { return writeback_; }
+
+  const CacheGeometry& geometry() const { return geometry_; }
+
+ private:
+  Energy AccessEnergy(std::uint32_t bits_accessed, bool write) const;
+
+  CacheGeometry geometry_;
+  TechParams params_;
+  Energy read_hit_;
+  Energy write_hit_;
+  Energy line_fill_;
+  Energy writeback_;
+};
+
+// Analytical main-memory energy model: a large on-chip (or die-stacked)
+// SRAM/DRAM core whose per-access energy grows with the square root of
+// its capacity (bitline/wordline lengths grow with array edge).
+class MemoryEnergyModel {
+ public:
+  MemoryEnergyModel(std::uint32_t capacity_bytes, const TechParams& params);
+
+  Energy read_energy() const { return read_; }    // one 32-bit word
+  Energy write_energy() const { return write_; }  // one 32-bit word
+
+  std::uint32_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  std::uint32_t capacity_bytes_;
+  Energy read_;
+  Energy write_;
+};
+
+}  // namespace lopass::power

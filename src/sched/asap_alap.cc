@@ -1,0 +1,73 @@
+#include "sched/asap_alap.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "sched/resource_set.h"
+
+namespace lopass::sched {
+
+namespace {
+
+// Latency of the op on its smallest (preferred) candidate resource.
+Cycles MinLatency(ir::Opcode op, const power::TechLibrary& lib) {
+  const auto candidates = CandidateResources(op);
+  LOPASS_CHECK(!candidates.empty(), "op has no candidate resource");
+  Cycles best = lib.spec(candidates[0]).op_latency;
+  for (power::ResourceType t : candidates) {
+    best = std::min(best, lib.spec(t).op_latency);
+  }
+  return best;
+}
+
+}  // namespace
+
+UnconstrainedSchedule AsapSchedule(const BlockDfg& dfg, const power::TechLibrary& lib) {
+  UnconstrainedSchedule s;
+  s.step.assign(dfg.size(), 0);
+  // Nodes are in program order = topological order.
+  for (std::size_t n = 0; n < dfg.size(); ++n) {
+    std::uint32_t start = 0;
+    for (std::size_t p : dfg.nodes[n].preds) {
+      const std::uint32_t finish =
+          s.step[p] + static_cast<std::uint32_t>(MinLatency(dfg.nodes[p].op, lib));
+      start = std::max(start, finish);
+    }
+    s.step[n] = start;
+    s.makespan = std::max(
+        s.makespan, start + static_cast<std::uint32_t>(MinLatency(dfg.nodes[n].op, lib)));
+  }
+  return s;
+}
+
+UnconstrainedSchedule AlapSchedule(const BlockDfg& dfg, const power::TechLibrary& lib) {
+  const UnconstrainedSchedule asap = AsapSchedule(dfg, lib);
+  UnconstrainedSchedule s;
+  s.makespan = asap.makespan;
+  s.step.assign(dfg.size(), 0);
+  // Reverse topological sweep: latest finish bounded by successors'
+  // latest starts (or the makespan for sinks).
+  for (std::size_t n = dfg.size(); n-- > 0;) {
+    const std::uint32_t lat = static_cast<std::uint32_t>(MinLatency(dfg.nodes[n].op, lib));
+    std::uint32_t latest_finish = s.makespan;
+    for (std::size_t succ : dfg.nodes[n].succs) {
+      latest_finish = std::min(latest_finish, s.step[succ]);
+    }
+    LOPASS_CHECK(latest_finish >= lat, "ALAP underflow — inconsistent critical path");
+    s.step[n] = latest_finish - lat;
+  }
+  return s;
+}
+
+std::vector<std::uint32_t> Mobility(const BlockDfg& dfg, const power::TechLibrary& lib) {
+  const UnconstrainedSchedule asap = AsapSchedule(dfg, lib);
+  const UnconstrainedSchedule alap = AlapSchedule(dfg, lib);
+  std::vector<std::uint32_t> m(dfg.size(), 0);
+  for (std::size_t n = 0; n < dfg.size(); ++n) {
+    LOPASS_CHECK(alap.step[n] >= asap.step[n], "negative mobility");
+    m[n] = alap.step[n] - asap.step[n];
+  }
+  return m;
+}
+
+}  // namespace lopass::sched

@@ -1,0 +1,35 @@
+#pragma once
+
+// Unconstrained ASAP/ALAP schedules and operation mobility.
+//
+// The classic companions of list scheduling: ASAP gives each op its
+// earliest data-ready step ignoring resource limits, ALAP its latest
+// step that still meets the ASAP critical path, and mobility their
+// difference. They provide (a) a lower bound on any resource-
+// constrained makespan (used as a property-test oracle) and (b) an
+// alternative list-scheduler priority (least mobility first).
+
+#include <cstdint>
+#include <vector>
+
+#include "power/tech_library.h"
+#include "sched/dfg.h"
+
+namespace lopass::sched {
+
+struct UnconstrainedSchedule {
+  std::vector<std::uint32_t> step;  // per DFG node
+  std::uint32_t makespan = 0;       // critical-path length in steps
+};
+
+// Earliest start per op (resource-unconstrained), using each op's
+// smallest candidate resource latency.
+UnconstrainedSchedule AsapSchedule(const BlockDfg& dfg, const power::TechLibrary& lib);
+
+// Latest start per op such that the ASAP critical path is met.
+UnconstrainedSchedule AlapSchedule(const BlockDfg& dfg, const power::TechLibrary& lib);
+
+// mobility[n] = alap.step[n] - asap.step[n] (>= 0).
+std::vector<std::uint32_t> Mobility(const BlockDfg& dfg, const power::TechLibrary& lib);
+
+}  // namespace lopass::sched

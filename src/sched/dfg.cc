@@ -1,0 +1,134 @@
+#include "sched/dfg.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace lopass::sched {
+
+using ir::Opcode;
+
+bool IsRegisterTransfer(ir::Opcode op) {
+  switch (op) {
+    case Opcode::kConst:
+    case Opcode::kMov:
+    case Opcode::kReadVar:
+    case Opcode::kWriteVar:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BlockDfg BuildBlockDfg(const ir::BasicBlock& block) {
+  const std::size_t n = block.instrs.size();
+
+  // Determines whether instruction i becomes a DFG node.
+  auto is_node = [&](std::size_t i) {
+    const ir::Instr& in = block.instrs[i];
+    return !ir::IsTerminator(in.op) && !IsRegisterTransfer(in.op);
+  };
+
+  // effective_sources[i]: the DFG-visible producers instruction i
+  // forwards (for register-transfer instrs) or depends on (for nodes).
+  // Computed in program order; register-transfer instructions are
+  // contracted by inheriting their producers' effective sources.
+  std::vector<std::vector<std::size_t>> fwd(n);  // instr -> producing instr indices
+  std::unordered_map<ir::VregId, std::size_t> def_of;       // vreg -> instr
+  std::unordered_map<ir::SymbolId, std::size_t> var_value;  // scalar -> producing instr
+  std::unordered_map<ir::SymbolId, std::size_t> last_array_store;
+  std::unordered_map<ir::SymbolId, std::vector<std::size_t>> array_loads_since_store;
+
+  // Resolves one producing instruction to DFG-visible sources.
+  auto sources_of_instr = [&](std::size_t p, std::vector<std::size_t>& out) {
+    if (is_node(p)) {
+      out.push_back(p);
+    } else {
+      out.insert(out.end(), fwd[p].begin(), fwd[p].end());
+    }
+  };
+
+  BlockDfg g;
+  std::vector<int> node_of(n, -1);
+  std::vector<std::vector<std::size_t>> node_srcs(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const ir::Instr& in = block.instrs[i];
+    std::vector<std::size_t> srcs;
+    for (const ir::Operand& a : in.args) {
+      if (!a.is_vreg()) continue;
+      auto it = def_of.find(a.vreg);
+      if (it != def_of.end()) sources_of_instr(it->second, srcs);
+    }
+    if (in.op == Opcode::kReadVar) {
+      // Value written earlier in this block flows through.
+      auto it = var_value.find(in.sym);
+      if (it != var_value.end()) sources_of_instr(it->second, srcs);
+    }
+    if (in.op == Opcode::kWriteVar && !in.args.empty() && in.args[0].is_imm()) {
+      // Immediate store: no producers.
+    }
+
+    if (IsRegisterTransfer(in.op)) {
+      // Contracted: remember what it forwards.
+      std::sort(srcs.begin(), srcs.end());
+      srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
+      fwd[i] = srcs;
+      if (in.op == Opcode::kWriteVar) var_value[in.sym] = i;
+      if (in.result != ir::kNoVreg) def_of[in.result] = i;
+      continue;
+    }
+    if (ir::IsTerminator(in.op)) continue;
+
+    // Array ordering dependencies (memory-port ops stay scheduled).
+    if (in.op == Opcode::kLoadElem) {
+      auto it = last_array_store.find(in.sym);
+      if (it != last_array_store.end()) srcs.push_back(it->second);
+      array_loads_since_store[in.sym].push_back(i);
+    } else if (in.op == Opcode::kStoreElem) {
+      auto it = last_array_store.find(in.sym);
+      if (it != last_array_store.end()) srcs.push_back(it->second);
+      for (std::size_t ln : array_loads_since_store[in.sym]) srcs.push_back(ln);
+      array_loads_since_store[in.sym].clear();
+      last_array_store[in.sym] = i;
+    }
+
+    std::sort(srcs.begin(), srcs.end());
+    srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
+
+    DfgNode node;
+    node.instr_index = i;
+    node.op = in.op;
+    node_of[i] = static_cast<int>(g.nodes.size());
+    node_srcs[i] = std::move(srcs);
+    g.nodes.push_back(std::move(node));
+    if (in.result != ir::kNoVreg) def_of[in.result] = i;
+  }
+
+  // Wire edges.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (node_of[i] < 0) continue;
+    const std::size_t to = static_cast<std::size_t>(node_of[i]);
+    for (std::size_t src : node_srcs[i]) {
+      LOPASS_CHECK(node_of[src] >= 0, "DFG source is not a node");
+      const std::size_t from = static_cast<std::size_t>(node_of[src]);
+      if (from == to) continue;
+      auto& succs = g.nodes[from].succs;
+      if (std::find(succs.begin(), succs.end(), to) != succs.end()) continue;
+      succs.push_back(to);
+      g.nodes[to].preds.push_back(from);
+    }
+  }
+
+  // Longest path to sink (scheduling priority), reverse topological
+  // sweep — node order is program order, all edges point forward.
+  for (std::size_t k = g.nodes.size(); k-- > 0;) {
+    int d = 0;
+    for (std::size_t s : g.nodes[k].succs) d = std::max(d, g.nodes[s].depth + 1);
+    g.nodes[k].depth = d;
+  }
+  return g;
+}
+
+}  // namespace lopass::sched

@@ -1,0 +1,45 @@
+#pragma once
+
+// Dataflow graph over the operations of one basic block, the unit the
+// list scheduler works on. Edges: virtual-register def-use plus
+// variable/array ordering dependencies (RAW/WAR/WAW on symbols).
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace lopass::sched {
+
+struct DfgNode {
+  std::size_t instr_index = 0;   // index into the basic block
+  ir::Opcode op = ir::Opcode::kMov;
+  std::vector<std::size_t> preds;  // node indices this node depends on
+  std::vector<std::size_t> succs;
+  int depth = 0;  // longest path to any sink (scheduling priority)
+};
+
+struct BlockDfg {
+  std::vector<DfgNode> nodes;
+
+  std::size_t size() const { return nodes.size(); }
+};
+
+// Builds the DFG for a basic block. The terminator is excluded (it is
+// realized by the ASIC core's controller, not the datapath), and so are
+// pure register-transfer operations (const/mov/readvar/writevar): in a
+// synthesized datapath those are register-file reads/writes and wiring,
+// not scheduled operators. Their producers/consumers are connected
+// directly (dependence contraction), so e.g. `writevar x; ...; readvar
+// x` inside one block yields a producer->consumer edge.
+// Remaining dependencies:
+//  * def->use on virtual registers (through contracted copies),
+//  * conservative ordering between stores and loads/stores on the same
+//    array symbol (memory-port operations stay in the DFG).
+BlockDfg BuildBlockDfg(const ir::BasicBlock& block);
+
+// True for opcodes realized by the register file / interconnect rather
+// than a scheduled datapath resource.
+bool IsRegisterTransfer(ir::Opcode op);
+
+}  // namespace lopass::sched

@@ -1,0 +1,55 @@
+#pragma once
+
+// Resource-constrained list scheduler (Fig. 1 line 8: "a simple list
+// schedule is performed on the current cluster").
+//
+// Ready operations are prioritized by their longest path to a sink and
+// assigned to the smallest available candidate resource type of the
+// designer's resource set, respecting per-type instance counts and
+// multi-cycle latencies.
+
+#include <cstdint>
+#include <vector>
+
+#include "power/tech_library.h"
+#include "sched/dfg.h"
+#include "sched/resource_set.h"
+
+namespace lopass::sched {
+
+struct ScheduledOp {
+  std::size_t node = 0;                   // DFG node index
+  std::uint32_t step = 0;                 // control step the op starts in
+  power::ResourceType type = power::ResourceType::kAlu;
+  lopass::Cycles latency = 1;
+};
+
+struct BlockSchedule {
+  std::vector<ScheduledOp> ops;    // one entry per DFG node
+  std::uint32_t num_steps = 0;     // makespan in control steps
+  std::uint64_t chained_ops = 0;   // ops packed by operator chaining
+};
+
+struct SchedulerOptions {
+  // Operator chaining: two data-dependent single-cycle operations may
+  // share a control step when their combined combinational delay fits
+  // the clock period (a classic HLS refinement; disabled by default to
+  // match the paper's "simple list schedule").
+  bool enable_chaining = false;
+  // Clock period the chained delay must fit; zero means "use the
+  // library's system clock period".
+  Duration clock_period;
+  // Ready-list priority: kDepth (longest path to sink, the default) or
+  // kMobility (least ALAP-ASAP slack first).
+  enum class Priority { kDepth, kMobility } priority = Priority::kDepth;
+};
+
+// Schedules one block DFG under the resource set. Throws if an
+// operation has no candidate resource (calls inside clusters must be
+// filtered out by the caller) or the resource set provides none of the
+// op's candidate types.
+BlockSchedule ListSchedule(const BlockDfg& dfg, const ResourceSet& rs,
+                           const power::TechLibrary& lib,
+                           const SchedulerOptions& options = SchedulerOptions{});
+
+}  // namespace lopass::sched

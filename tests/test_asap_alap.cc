@@ -1,0 +1,124 @@
+#include "sched/asap_alap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "dsl/lower.h"
+#include "sched/list_scheduler.h"
+
+namespace lopass::sched {
+namespace {
+
+using power::ResourceType;
+using power::TechLibrary;
+
+BlockDfg HotDfg(const std::string& src, std::size_t min_ops) {
+  const dsl::LoweredProgram p = dsl::Compile(src);
+  BlockDfg best;
+  for (const ir::BasicBlock& b : p.module.function(0).blocks) {
+    BlockDfg g = BuildBlockDfg(b);
+    if (g.size() >= min_ops && g.size() > best.size()) best = std::move(g);
+  }
+  return best;
+}
+
+ResourceSet OneOfEach() {
+  ResourceSet rs;
+  rs.name = "one-of-each";
+  rs.set(ResourceType::kAlu, 1)
+      .set(ResourceType::kAdder, 1)
+      .set(ResourceType::kShifter, 1)
+      .set(ResourceType::kMultiplier, 1)
+      .set(ResourceType::kDivider, 1)
+      .set(ResourceType::kMemoryPort, 1);
+  return rs;
+}
+
+TEST(AsapAlap, ChainSchedulesSequentially) {
+  // a*a*a*a: three dependent muls, 2 cycles each.
+  const BlockDfg g = HotDfg("func main(a) { return a * a * a * a; }", 3);
+  const UnconstrainedSchedule asap = AsapSchedule(g, TechLibrary::Cmos6());
+  EXPECT_EQ(asap.makespan, 6u);
+  const UnconstrainedSchedule alap = AlapSchedule(g, TechLibrary::Cmos6());
+  EXPECT_EQ(alap.makespan, asap.makespan);
+  // A pure chain has zero mobility everywhere.
+  for (std::uint32_t m : Mobility(g, TechLibrary::Cmos6())) EXPECT_EQ(m, 0u);
+}
+
+TEST(AsapAlap, ParallelWorkHasMobility) {
+  // (a+b) + (c*d): the add can slide, the mul is critical.
+  const BlockDfg g = HotDfg("func main(a, b, c, d) { return (a + b) + c * d; }", 3);
+  const auto mob = Mobility(g, TechLibrary::Cmos6());
+  bool any_slack = false;
+  for (std::uint32_t m : mob) {
+    if (m > 0) any_slack = true;
+  }
+  EXPECT_TRUE(any_slack);
+}
+
+TEST(AsapAlap, AlapNeverBeforeAsap) {
+  const BlockDfg g = HotDfg(R"(
+    array m[16];
+    func main(a, b) {
+      var t;
+      t = m[a & 15] * b + (a << 2) - m[b & 15] / 3;
+      m[0] = t;
+      return t;
+    })", 6);
+  const auto asap = AsapSchedule(g, TechLibrary::Cmos6());
+  const auto alap = AlapSchedule(g, TechLibrary::Cmos6());
+  for (std::size_t n = 0; n < g.size(); ++n) {
+    EXPECT_LE(asap.step[n], alap.step[n]) << n;
+  }
+}
+
+TEST(AsapAlap, AsapIsALowerBoundForListScheduling) {
+  Prng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string expr = "a";
+    const char* ops[] = {" + ", " - ", " * ", " ^ "};
+    for (int i = 0; i < 16; ++i) {
+      expr = "(" + expr + ops[rng.next_below(4)] + "(b + " + std::to_string(i) + "))";
+    }
+    const BlockDfg g = HotDfg("func main(a, b) { return " + expr + "; }", 8);
+    const auto asap = AsapSchedule(g, TechLibrary::Cmos6());
+    const BlockSchedule s = ListSchedule(g, OneOfEach(), TechLibrary::Cmos6());
+    EXPECT_GE(s.num_steps, asap.makespan);
+  }
+}
+
+TEST(AsapAlap, MobilityPriorityProducesValidSchedules) {
+  const BlockDfg g = HotDfg(R"(
+    array m[32];
+    func main(a, b) {
+      var t;
+      t = m[a & 31] * b + m[b & 31] * a + (a << 2) + (b >> 1) + abs(a - b);
+      m[0] = t;
+      return t;
+    })", 8);
+  SchedulerOptions mob_opts;
+  mob_opts.priority = SchedulerOptions::Priority::kMobility;
+  const BlockSchedule s_mob = ListSchedule(g, OneOfEach(), TechLibrary::Cmos6(), mob_opts);
+  const BlockSchedule s_depth = ListSchedule(g, OneOfEach(), TechLibrary::Cmos6());
+  // Both are legal (precedence respected) and complete.
+  ASSERT_EQ(s_mob.ops.size(), g.size());
+  for (std::size_t n = 0; n < g.size(); ++n) {
+    for (std::size_t p : g.nodes[n].preds) {
+      EXPECT_GE(s_mob.ops[n].step, s_mob.ops[p].step + s_mob.ops[p].latency);
+    }
+  }
+  // Same lower bound applies.
+  const auto asap = AsapSchedule(g, TechLibrary::Cmos6());
+  EXPECT_GE(s_mob.num_steps, asap.makespan);
+  EXPECT_GE(s_depth.num_steps, asap.makespan);
+}
+
+TEST(AsapAlap, EmptyDfg) {
+  BlockDfg g;
+  const auto asap = AsapSchedule(g, TechLibrary::Cmos6());
+  EXPECT_EQ(asap.makespan, 0u);
+  EXPECT_TRUE(Mobility(g, TechLibrary::Cmos6()).empty());
+}
+
+}  // namespace
+}  // namespace lopass::sched

@@ -1,0 +1,114 @@
+#include "power/cache_energy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "power/tech_library.h"
+
+namespace lopass::power {
+namespace {
+
+const TechParams& Params() { return TechLibrary::Cmos6().params(); }
+
+TEST(CacheGeometry, DerivedQuantities) {
+  CacheGeometry g{2048, 16, 1, 32};
+  EXPECT_EQ(g.num_lines(), 128u);
+  EXPECT_EQ(g.num_sets(), 128u);
+  EXPECT_EQ(g.tag_bits(), 32u - 4u - 7u);
+
+  CacheGeometry g2{4096, 32, 2, 32};
+  EXPECT_EQ(g2.num_lines(), 128u);
+  EXPECT_EQ(g2.num_sets(), 64u);
+  EXPECT_EQ(g2.tag_bits(), 32u - 5u - 6u);
+}
+
+TEST(CacheEnergyModel, ValidatesGeometry) {
+  EXPECT_THROW(CacheEnergyModel({1000, 16, 1, 32}, Params()), lopass::Error);
+  EXPECT_THROW(CacheEnergyModel({2048, 12, 1, 32}, Params()), lopass::Error);
+  EXPECT_THROW(CacheEnergyModel({2048, 16, 3, 32}, Params()), lopass::Error);
+  EXPECT_THROW(CacheEnergyModel({16, 16, 4, 32}, Params()), lopass::Error);
+  EXPECT_NO_THROW(CacheEnergyModel({2048, 16, 1, 32}, Params()));
+}
+
+TEST(CacheEnergyModel, PerAccessEnergyInPlausibleRange) {
+  // 0.8u-era small SRAM: a read should land in the 0.1..20 nJ band.
+  const CacheEnergyModel m({2048, 16, 1, 32}, Params());
+  EXPECT_GT(m.read_hit_energy().nanojoules(), 0.1);
+  EXPECT_LT(m.read_hit_energy().nanojoules(), 20.0);
+}
+
+TEST(CacheEnergyModel, BiggerCachesCostMorePerAccess) {
+  const CacheEnergyModel small({1024, 16, 1, 32}, Params());
+  const CacheEnergyModel big({16384, 16, 1, 32}, Params());
+  EXPECT_LT(small.read_hit_energy(), big.read_hit_energy());
+  EXPECT_LT(small.write_hit_energy(), big.write_hit_energy());
+}
+
+TEST(CacheEnergyModel, HigherAssociativityCostsMorePerAccess) {
+  const CacheEnergyModel dm({4096, 16, 1, 32}, Params());
+  const CacheEnergyModel sa({4096, 16, 4, 32}, Params());
+  // More ways are read in parallel per access.
+  EXPECT_LT(dm.read_hit_energy(), sa.read_hit_energy());
+}
+
+TEST(CacheEnergyModel, LineFillCostsMoreThanWordAccess) {
+  const CacheEnergyModel m({2048, 32, 1, 32}, Params());
+  EXPECT_GT(m.line_fill_energy(), m.read_hit_energy());
+  EXPECT_GT(m.writeback_energy().joules, 0.0);
+}
+
+TEST(MemoryEnergyModel, ScalesWithSqrtCapacity) {
+  const MemoryEnergyModel m64(64 * 1024, Params());
+  const MemoryEnergyModel m256(256 * 1024, Params());
+  // 4x capacity => 2x per-access energy (array edge doubles).
+  EXPECT_NEAR(m256.read_energy().joules / m64.read_energy().joules, 2.0, 1e-9);
+}
+
+TEST(MemoryEnergyModel, WriteCostsMoreThanRead) {
+  const MemoryEnergyModel m(256 * 1024, Params());
+  EXPECT_GT(m.write_energy(), m.read_energy());
+}
+
+TEST(MemoryEnergyModel, MainMemoryCostsMoreThanCache) {
+  // The hierarchy only saves energy if this holds.
+  const CacheEnergyModel cache({2048, 16, 1, 32}, Params());
+  const MemoryEnergyModel mem(256 * 1024, Params());
+  EXPECT_GT(mem.read_energy(), cache.read_hit_energy());
+}
+
+TEST(MemoryEnergyModel, RejectsTinyMemories) {
+  EXPECT_THROW(MemoryEnergyModel(512, Params()), lopass::Error);
+}
+
+TEST(MemoryEnergyModel, VoltageScalingIsQuadratic) {
+  TechParams p = Params();
+  p.vdd = 3.3;
+  const MemoryEnergyModel a(65536, p);
+  p.vdd = 1.65;
+  const MemoryEnergyModel b(65536, p);
+  EXPECT_NEAR(a.read_energy().joules / b.read_energy().joules, 4.0, 1e-9);
+}
+
+// Parameterized sweep: the per-access energy must be monotone in
+// capacity for every (line size, associativity) combination the system
+// configs use.
+class CacheEnergySweep : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(CacheEnergySweep, MonotoneInCapacity) {
+  const auto [line, assoc] = GetParam();
+  double prev = 0.0;
+  for (std::uint32_t cap = 1024; cap <= 32768; cap *= 2) {
+    if (cap < line * assoc) continue;
+    const CacheEnergyModel m({cap, line, assoc, 32}, Params());
+    EXPECT_GT(m.read_hit_energy().joules, prev)
+        << "cap=" << cap << " line=" << line << " assoc=" << assoc;
+    prev = m.read_hit_energy().joules;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheEnergySweep,
+                         ::testing::Combine(::testing::Values(8u, 16u, 32u),
+                                            ::testing::Values(1u, 2u, 4u)));
+
+}  // namespace
+}  // namespace lopass::power

@@ -1,0 +1,185 @@
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "dsl/lower.h"
+
+namespace lopass::core {
+namespace {
+
+ClusterChain ChainOf(const std::string& src, const std::string& entry = "main") {
+  const dsl::LoweredProgram p = dsl::Compile(src);
+  return DecomposeIntoClusters(p.module, p.regions, entry);
+}
+
+TEST(Cluster, ChainFollowsTopLevelRegions) {
+  const ClusterChain c = ChainOf(R"(
+    func main(n) {
+      var i; var s;
+      s = 0;                                   // leaf
+      for (i = 0; i < n; i = i + 1) { s = s + i; }   // loop
+      s = s * 2;                               // leaf
+      while (s > 10) { s = s - 3; }            // loop
+      return s;                                // leaf
+    })");
+  ASSERT_GE(c.chain_length, 5);
+  int loops = 0;
+  for (const Cluster& cl : c.clusters) {
+    if (cl.kind == ir::RegionKind::kLoop) {
+      ++loops;
+      EXPECT_TRUE(cl.hw_candidate) << cl.label;
+    }
+    if (cl.kind == ir::RegionKind::kLeaf) { EXPECT_FALSE(cl.hw_candidate); }
+  }
+  EXPECT_EQ(loops, 2);
+  // Chain positions are dense and ordered.
+  for (int pos = 0; pos < c.chain_length; ++pos) {
+    EXPECT_NO_THROW(c.at_chain_pos(pos));
+  }
+}
+
+TEST(Cluster, NestedLoopIsOneCluster) {
+  // "nested loops" form a single cluster covering the whole nest.
+  const ClusterChain c = ChainOf(R"(
+    func main(n) {
+      var i; var j; var s;
+      for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) { s = s + i * j; }
+      }
+      return s;
+    })");
+  int loop_clusters = 0;
+  std::size_t loop_blocks = 0;
+  for (const Cluster& cl : c.clusters) {
+    if (cl.kind == ir::RegionKind::kLoop) {
+      ++loop_clusters;
+      loop_blocks = cl.blocks.size();
+    }
+  }
+  EXPECT_EQ(loop_clusters, 1);
+  EXPECT_GE(loop_blocks, 5u);  // outer cond/step + inner cond/body/step
+}
+
+TEST(Cluster, IfElseIsACandidate) {
+  const ClusterChain c = ChainOf(R"(
+    func main(a) {
+      var r;
+      if (a > 0) { r = a * 2; } else { r = a / 2; }
+      return r;
+    })");
+  bool found = false;
+  for (const Cluster& cl : c.clusters) {
+    if (cl.kind == ir::RegionKind::kIfElse) {
+      found = true;
+      EXPECT_TRUE(cl.hw_candidate);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cluster, LoopWithCallIsNotACandidate) {
+  const ClusterChain c = ChainOf(R"(
+    func helper(x) { return x * 2; }
+    func main(n) {
+      var i; var s;
+      for (i = 0; i < n; i = i + 1) { s = s + helper(i); }
+      return s;
+    })");
+  for (const Cluster& cl : c.clusters) {
+    if (cl.kind == ir::RegionKind::kLoop) {
+      EXPECT_TRUE(cl.contains_calls);
+      EXPECT_FALSE(cl.hw_candidate);
+    }
+  }
+}
+
+TEST(Cluster, SingleCallFunctionBecomesFunctionCluster) {
+  const ClusterChain c = ChainOf(R"(
+    func kernel(x) { return x * x + 3; }
+    func main(a) {
+      var r;
+      r = kernel(a);
+      return r + 1;
+    })");
+  bool found = false;
+  for (const Cluster& cl : c.clusters) {
+    if (cl.kind == ir::RegionKind::kFunction) {
+      found = true;
+      EXPECT_TRUE(cl.hw_candidate);
+      EXPECT_GE(cl.callee, 0);
+      EXPECT_GE(cl.chain_pos, 0);
+      EXPECT_LT(cl.chain_pos, c.chain_length);
+      // Its blocks belong to the callee, not main.
+      for (const auto& [fn, b] : cl.blocks) {
+        EXPECT_EQ(fn, cl.callee);
+        (void)b;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cluster, TwiceCalledFunctionIsNotACluster) {
+  const ClusterChain c = ChainOf(R"(
+    func kernel(x) { return x * x; }
+    func main(a) {
+      var r;
+      r = kernel(a);
+      r = r + kernel(a + 1);
+      return r;
+    })");
+  for (const Cluster& cl : c.clusters) {
+    EXPECT_NE(cl.kind, ir::RegionKind::kFunction);
+  }
+}
+
+TEST(Cluster, FunctionClusterIncludesTransitiveCallees) {
+  const ClusterChain c = ChainOf(R"(
+    func inner(x) { return x + 1; }
+    func outer(x) { return inner(x) * 2; }
+    func main(a) { return outer(a); })");
+  bool found = false;
+  for (const Cluster& cl : c.clusters) {
+    if (cl.kind != ir::RegionKind::kFunction) continue;
+    found = true;
+    // Covers blocks from both outer and inner.
+    std::set<ir::FunctionId> fns;
+    for (const auto& [fn, b] : cl.blocks) {
+      fns.insert(fn);
+      (void)b;
+    }
+    EXPECT_EQ(fns.size(), 2u);
+    // Still contains a call, so it is not HW mappable as-is.
+    EXPECT_TRUE(cl.contains_calls);
+    EXPECT_FALSE(cl.hw_candidate);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cluster, UnknownEntryThrows) {
+  const dsl::LoweredProgram p = dsl::Compile("func main() { return 0; }");
+  EXPECT_THROW(DecomposeIntoClusters(p.module, p.regions, "nope"), Error);
+}
+
+TEST(Cluster, BlocksAreDisjointAcrossChainMembers) {
+  const ClusterChain c = ChainOf(R"(
+    func main(n) {
+      var i; var s;
+      for (i = 0; i < n; i = i + 1) { s = s + 1; }
+      if (s > 3) { s = 0; } else { s = 1; }
+      return s;
+    })");
+  std::set<std::pair<ir::FunctionId, ir::BlockId>> seen;
+  for (const Cluster& cl : c.clusters) {
+    if (cl.id >= c.chain_length) continue;  // skip shadow candidates
+    for (const auto& ref : cl.blocks) {
+      EXPECT_TRUE(seen.insert(ref).second)
+          << "block owned by two chain members: fn " << ref.first << " bb "
+          << ref.second;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lopass::core

@@ -1,0 +1,156 @@
+#include "sched/dfg.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dsl/lower.h"
+
+namespace lopass::sched {
+namespace {
+
+// Builds the DFG of the first block that has at least `min_ops` nodes.
+BlockDfg DfgOf(const std::string& src, std::size_t min_ops = 1) {
+  const dsl::LoweredProgram p = dsl::Compile(src);
+  for (const ir::BasicBlock& b : p.module.function(0).blocks) {
+    BlockDfg g = BuildBlockDfg(b);
+    if (g.size() >= min_ops) return g;
+  }
+  return {};
+}
+
+bool HasEdge(const BlockDfg& g, ir::Opcode from, ir::Opcode to) {
+  for (const DfgNode& n : g.nodes) {
+    if (n.op != from) continue;
+    for (std::size_t s : n.succs) {
+      if (g.nodes[s].op == to) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t CountOp(const BlockDfg& g, ir::Opcode op) {
+  std::size_t c = 0;
+  for (const DfgNode& n : g.nodes) {
+    if (n.op == op) ++c;
+  }
+  return c;
+}
+
+TEST(Dfg, RegisterTransfersAreContracted) {
+  const BlockDfg g = DfgOf("var x; func main(a) { x = a * 2; return x + 1; }", 2);
+  EXPECT_EQ(CountOp(g, ir::Opcode::kReadVar), 0u);
+  EXPECT_EQ(CountOp(g, ir::Opcode::kWriteVar), 0u);
+  EXPECT_EQ(CountOp(g, ir::Opcode::kConst), 0u);
+  // The value flows mul -> add through the contracted writevar/readvar.
+  EXPECT_TRUE(HasEdge(g, ir::Opcode::kMul, ir::Opcode::kAdd));
+}
+
+TEST(Dfg, IsRegisterTransferPredicate) {
+  EXPECT_TRUE(IsRegisterTransfer(ir::Opcode::kConst));
+  EXPECT_TRUE(IsRegisterTransfer(ir::Opcode::kMov));
+  EXPECT_TRUE(IsRegisterTransfer(ir::Opcode::kReadVar));
+  EXPECT_TRUE(IsRegisterTransfer(ir::Opcode::kWriteVar));
+  EXPECT_FALSE(IsRegisterTransfer(ir::Opcode::kAdd));
+  EXPECT_FALSE(IsRegisterTransfer(ir::Opcode::kLoadElem));
+}
+
+TEST(Dfg, VregDataflowEdges) {
+  const BlockDfg g = DfgOf("func main(a, b) { return (a + b) * (a - b); }", 3);
+  EXPECT_TRUE(HasEdge(g, ir::Opcode::kAdd, ir::Opcode::kMul));
+  EXPECT_TRUE(HasEdge(g, ir::Opcode::kSub, ir::Opcode::kMul));
+  EXPECT_FALSE(HasEdge(g, ir::Opcode::kAdd, ir::Opcode::kSub));
+}
+
+TEST(Dfg, ArrayOrderingDependencies) {
+  // A store must order before a later load of the same array, and loads
+  // before the next store (WAR).
+  const BlockDfg g = DfgOf(R"(
+    array m[8];
+    func main(a) {
+      m[0] = a;
+      var t;
+      t = m[1];
+      m[2] = t + 1;
+      return t;
+    })", 3);
+  EXPECT_TRUE(HasEdge(g, ir::Opcode::kStoreElem, ir::Opcode::kLoadElem));
+  EXPECT_TRUE(HasEdge(g, ir::Opcode::kLoadElem, ir::Opcode::kStoreElem));
+}
+
+TEST(Dfg, IndependentArraysHaveNoEdges) {
+  const BlockDfg g = DfgOf(R"(
+    array a[4]; array b[4];
+    func main(i) {
+      a[0] = i;
+      var t;
+      t = b[0];
+      return t;
+    })", 2);
+  EXPECT_FALSE(HasEdge(g, ir::Opcode::kStoreElem, ir::Opcode::kLoadElem));
+}
+
+TEST(Dfg, TerminatorExcluded) {
+  const BlockDfg g = DfgOf("func main(a) { return a + 1; }", 1);
+  for (const DfgNode& n : g.nodes) {
+    EXPECT_FALSE(ir::IsTerminator(n.op));
+  }
+}
+
+TEST(Dfg, DepthIsLongestPathToSink) {
+  // a*b + c*d + e: muls feed adds, the final add is a sink (depth 0).
+  const BlockDfg g =
+      DfgOf("func main(a, b, c, d, e) { return a * b + c * d + e; }", 4);
+  int max_mul_depth = -1;
+  int final_add_depth = 99;
+  for (const DfgNode& n : g.nodes) {
+    if (n.op == ir::Opcode::kMul) max_mul_depth = std::max(max_mul_depth, n.depth);
+    if (n.op == ir::Opcode::kAdd) final_add_depth = std::min(final_add_depth, n.depth);
+  }
+  EXPECT_EQ(final_add_depth, 0);
+  EXPECT_GE(max_mul_depth, 1);
+}
+
+TEST(Dfg, PredsAndSuccsAreConsistent) {
+  const BlockDfg g = DfgOf(R"(
+    array m[16];
+    func main(a, b) {
+      var t;
+      t = m[a & 15] * b + m[b & 15];
+      m[0] = t;
+      return t;
+    })", 4);
+  for (std::size_t n = 0; n < g.size(); ++n) {
+    for (std::size_t s : g.nodes[n].succs) {
+      const auto& preds = g.nodes[s].preds;
+      EXPECT_NE(std::find(preds.begin(), preds.end(), n), preds.end());
+      EXPECT_GT(s, n);  // edges point forward in program order
+    }
+  }
+}
+
+TEST(Dfg, ScalarRawThroughWriteRead) {
+  // x written from a mul, then read into an add in the same block:
+  // contraction must produce mul -> add.
+  const BlockDfg g = DfgOf(R"(
+    var x;
+    func main(a) {
+      x = a * a;
+      var y;
+      y = x + 3;
+      return y;
+    })", 2);
+  EXPECT_TRUE(HasEdge(g, ir::Opcode::kMul, ir::Opcode::kAdd));
+}
+
+TEST(Dfg, EmptyBlockYieldsEmptyDfg) {
+  const dsl::LoweredProgram p = dsl::Compile("func main() { return 0; }");
+  bool saw_empty = false;
+  for (const ir::BasicBlock& b : p.module.function(0).blocks) {
+    if (BuildBlockDfg(b).size() == 0) saw_empty = true;
+  }
+  EXPECT_TRUE(saw_empty);
+}
+
+}  // namespace
+}  // namespace lopass::sched

@@ -1,0 +1,164 @@
+#include "isa/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "common/prng.h"
+#include "dsl/lower.h"
+#include "isa/codegen.h"
+
+namespace lopass::isa {
+namespace {
+
+SlInstr RoundTrip(const SlInstr& in, int expect_words = 0) {
+  std::vector<std::uint32_t> words;
+  const int emitted = Encode(in, words);
+  if (expect_words > 0) { EXPECT_EQ(emitted, expect_words); }
+  int consumed = 0;
+  const SlInstr back = Decode(words, consumed);
+  EXPECT_EQ(consumed, emitted);
+  EXPECT_TRUE(ArchEqual(in, back)) << SlOpName(in.op);
+  return back;
+}
+
+TEST(Encoding, SimpleForms) {
+  SlInstr nop;
+  nop.op = SlOp::kNop;
+  RoundTrip(nop, 1);
+
+  SlInstr ret;
+  ret.op = SlOp::kRet;
+  RoundTrip(ret, 1);
+
+  SlInstr add;
+  add.op = SlOp::kAdd;
+  add.rd = 8;
+  add.rs1 = 9;
+  add.rs2 = 10;
+  RoundTrip(add, 1);
+
+  SlInstr addi;
+  addi.op = SlOp::kAdd;
+  addi.rd = 8;
+  addi.rs1 = 8;
+  addi.use_imm = true;
+  addi.imm = -1;
+  RoundTrip(addi, 1);
+}
+
+TEST(Encoding, ImmediateBoundaries) {
+  SlInstr li;
+  li.op = SlOp::kLi;
+  li.rd = 5;
+  li.imm = (1 << 20) - 1;  // max single-word simm21
+  RoundTrip(li, 1);
+  li.imm = 1 << 20;  // needs extension
+  RoundTrip(li, 2);
+  li.imm = -(1 << 20) + 1;
+  RoundTrip(li, 1);
+  li.imm = -(1 << 20);  // the sentinel itself must take the extension
+  RoundTrip(li, 2);
+  li.imm = INT32_MIN;
+  RoundTrip(li, 2);
+  li.imm = INT32_MAX;
+  RoundTrip(li, 2);
+}
+
+TEST(Encoding, MemoryOffsets) {
+  SlInstr ld;
+  ld.op = SlOp::kLd;
+  ld.rd = 8;
+  ld.rs1 = 0;
+  ld.imm = 32767;
+  RoundTrip(ld, 1);
+  ld.imm = 70000;  // big static data offset: extended form
+  RoundTrip(ld, 2);
+  SlInstr st = ld;
+  st.op = SlOp::kSt;
+  st.imm = 131072;
+  RoundTrip(st, 2);
+}
+
+TEST(Encoding, Branches) {
+  SlInstr b;
+  b.op = SlOp::kBnez;
+  b.rs1 = 12;
+  b.target = 123456;
+  RoundTrip(b, 1);
+  SlInstr j;
+  j.op = SlOp::kJ;
+  j.target = (1 << 26) - 1;
+  RoundTrip(j, 1);
+  SlInstr call;
+  call.op = SlOp::kCall;
+  call.target = 42;
+  RoundTrip(call, 1);
+}
+
+TEST(Encoding, RejectsBadFields) {
+  SlInstr add;
+  add.op = SlOp::kAdd;
+  add.rd = 40;  // no such register
+  std::vector<std::uint32_t> out;
+  EXPECT_THROW(Encode(add, out), Error);
+
+  SlInstr b;
+  b.op = SlOp::kBeqz;
+  b.rs1 = 1;
+  b.target = -1;
+  EXPECT_THROW(Encode(b, out), Error);
+}
+
+TEST(Encoding, RandomizedRoundTrip) {
+  Prng rng(0xc0de);
+  static const SlOp kOps[] = {SlOp::kAdd, SlOp::kSub, SlOp::kAnd, SlOp::kOr,
+                              SlOp::kXor, SlOp::kSll, SlOp::kSrl, SlOp::kSra,
+                              SlOp::kMul, SlOp::kDiv, SlOp::kMod, SlOp::kMin,
+                              SlOp::kMax, SlOp::kSeq, SlOp::kSne, SlOp::kSlt,
+                              SlOp::kSle, SlOp::kSgt, SlOp::kSge};
+  for (int i = 0; i < 3000; ++i) {
+    SlInstr in;
+    in.op = kOps[rng.next_below(sizeof(kOps) / sizeof(kOps[0]))];
+    in.rd = static_cast<std::int16_t>(rng.next_below(32));
+    in.rs1 = static_cast<std::int16_t>(rng.next_below(32));
+    if (rng.next_below(2)) {
+      in.use_imm = true;
+      in.imm = rng.next_in(INT32_MIN / 2, INT32_MAX / 2);
+    } else {
+      in.rs2 = static_cast<std::int16_t>(rng.next_below(32));
+    }
+    RoundTrip(in);
+  }
+}
+
+TEST(Encoding, WholeAppProgramsRoundTrip) {
+  for (const char* name : {"3d", "engine"}) {
+    const apps::Application app = apps::GetApplication(name);
+    const dsl::LoweredProgram p = dsl::Compile(app.dsl_source);
+    const SlProgram prog = Generate(p.module);
+    const EncodedProgram image = EncodeProgram(prog);
+    EXPECT_EQ(image.word_of.size(), prog.code.size());
+    // Image is at least one word per instruction, at most two.
+    EXPECT_GE(image.words.size(), prog.code.size());
+    EXPECT_LE(image.words.size(), 2 * prog.code.size());
+
+    const std::vector<SlInstr> back = DecodeProgram(image);
+    ASSERT_EQ(back.size(), prog.code.size()) << name;
+    for (std::size_t i = 0; i < back.size(); ++i) {
+      EXPECT_TRUE(ArchEqual(prog.code[i], back[i])) << name << " @" << i;
+    }
+  }
+}
+
+TEST(Encoding, ImageSizeAccounting) {
+  const dsl::LoweredProgram p =
+      dsl::Compile("func main(a) { return a * 5000000 + 3; }");
+  const SlProgram prog = Generate(p.module);
+  const EncodedProgram image = EncodeProgram(prog);
+  EXPECT_EQ(image.size_bytes(), image.words.size() * 4);
+  // The large constant forces at least one extended (2-word) encoding.
+  EXPECT_GT(image.words.size(), prog.code.size());
+}
+
+}  // namespace
+}  // namespace lopass::isa

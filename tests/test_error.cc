@@ -1,0 +1,39 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace lopass {
+namespace {
+
+TEST(Error, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(LOPASS_CHECK(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Error, CheckThrowsWithExpressionAndDetail) {
+  try {
+    LOPASS_CHECK(false, "the detail text");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("the detail text"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cc"), std::string::npos);
+  }
+}
+
+TEST(Error, ThrowCarriesMessageAndLocation) {
+  try {
+    LOPASS_THROW("user facing message");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("user facing message"), std::string::npos);
+  }
+}
+
+TEST(Error, IsARuntimeError) {
+  EXPECT_THROW(LOPASS_THROW("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lopass

@@ -1,0 +1,171 @@
+#include "ir/infer_regions.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/partitioner.h"
+#include "dsl/lower.h"
+
+namespace lopass::ir {
+namespace {
+
+// Hand-builds: entry -> loop(cond, body) -> exit (a simple counted loop
+// over an array), without the DSL frontend.
+Module BuildLoopModule() {
+  Module m;
+  const SymbolId n = m.AddScalar("n");
+  const SymbolId s = m.AddScalar("s");
+  const SymbolId i = m.AddScalar("i");
+  const SymbolId arr = m.AddArray("arr", 64);
+  const FunctionId f = m.AddFunction("main");
+  FunctionBuilder fb(m, f);
+
+  const BlockId entry = fb.NewBlock();
+  const BlockId cond = fb.NewBlock();
+  const BlockId body = fb.NewBlock();
+  const BlockId exit = fb.NewBlock();
+
+  fb.SetBlock(entry);
+  fb.EmitWriteVar(i, Operand::Imm(0));
+  fb.EmitWriteVar(s, Operand::Imm(0));
+  fb.EmitBr(cond);
+
+  fb.SetBlock(cond);
+  const VregId vi = fb.EmitReadVar(i);
+  const VregId vn = fb.EmitReadVar(n);
+  const VregId c = fb.EmitBinary(Opcode::kCmpLt, Operand::Vreg(vi), Operand::Vreg(vn));
+  fb.EmitCondBr(Operand::Vreg(c), body, exit);
+
+  fb.SetBlock(body);
+  const VregId bi = fb.EmitReadVar(i);
+  const VregId masked = fb.EmitBinary(Opcode::kAnd, Operand::Vreg(bi), Operand::Imm(63));
+  const VregId elem = fb.EmitLoadElem(arr, Operand::Vreg(masked));
+  const VregId scaled = fb.EmitBinary(Opcode::kMul, Operand::Vreg(elem), Operand::Imm(3));
+  const VregId vs = fb.EmitReadVar(s);
+  const VregId sum = fb.EmitBinary(Opcode::kAdd, Operand::Vreg(vs), Operand::Vreg(scaled));
+  fb.EmitWriteVar(s, Operand::Vreg(sum));
+  const VregId inc = fb.EmitBinary(Opcode::kAdd, Operand::Vreg(bi), Operand::Imm(1));
+  fb.EmitWriteVar(i, Operand::Vreg(inc));
+  fb.EmitBr(cond);
+
+  fb.SetBlock(exit);
+  const VregId ret = fb.EmitReadVar(s);
+  fb.EmitRet(Operand::Vreg(ret));
+
+  m.AssignAddresses();
+  return m;
+}
+
+TEST(Dominators, SimpleLoop) {
+  const Module m = BuildLoopModule();
+  const auto idom = ComputeDominators(m.function(0));
+  EXPECT_EQ(idom[0], 0);  // entry dominates itself
+  EXPECT_EQ(idom[1], 0);  // cond's idom is entry
+  EXPECT_EQ(idom[2], 1);  // body's idom is cond
+  EXPECT_EQ(idom[3], 1);  // exit's idom is cond
+}
+
+TEST(NaturalLoops, SimpleLoopFound) {
+  const Module m = BuildLoopModule();
+  const auto loops = FindNaturalLoops(m.function(0));
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].header, 1);
+  EXPECT_EQ(loops[0].blocks, (std::vector<BlockId>{1, 2}));
+}
+
+TEST(InferRegions, ProgrammaticIrGetsALoopRegion) {
+  const Module m = BuildLoopModule();
+  const RegionTree tree = InferRegions(m);
+  int loop_regions = 0;
+  for (const RegionNode& n : tree.nodes()) {
+    if (n.kind == RegionKind::kLoop) ++loop_regions;
+  }
+  EXPECT_EQ(loop_regions, 1);
+  // Every block owned exactly once.
+  std::vector<int> owners(m.function(0).blocks.size(), 0);
+  for (const RegionNode& n : tree.nodes()) {
+    for (BlockId b : n.blocks) ++owners[static_cast<std::size_t>(b)];
+  }
+  for (int o : owners) EXPECT_EQ(o, 1);
+}
+
+TEST(InferRegions, ClustererFindsTheLoopCandidate) {
+  const Module m = BuildLoopModule();
+  const RegionTree tree = InferRegions(m);
+  const core::ClusterChain chain = core::DecomposeIntoClusters(m, tree);
+  int candidates = 0;
+  for (const core::Cluster& c : chain.clusters) {
+    if (c.hw_candidate) {
+      ++candidates;
+      EXPECT_EQ(c.kind, RegionKind::kLoop);
+    }
+  }
+  EXPECT_EQ(candidates, 1);
+}
+
+TEST(InferRegions, PartitionerRunsOnHandBuiltIr) {
+  const Module m = BuildLoopModule();
+  const RegionTree tree = InferRegions(m);
+  core::Partitioner part(m, tree);
+  core::Workload w;
+  w.setup = [](core::DataTarget& t) {
+    t.SetScalar("n", 4000);
+    std::vector<std::int64_t> arr;
+    for (int i = 0; i < 64; ++i) arr.push_back(i * 5 % 97);
+    t.FillArray("arr", arr);
+  };
+  const core::PartitionResult r = part.Run(w);
+  EXPECT_EQ(r.initial_run.return_value, r.partitioned_run.return_value);
+  if (r.partitioned()) {
+    EXPECT_LT(r.ToRow("handbuilt").saving_percent(), 0.0);
+  }
+}
+
+TEST(InferRegions, MatchesFrontendLoopCount) {
+  // On DSL-compiled programs, inference finds the same number of loop
+  // regions as the frontend recorded.
+  for (const char* src : {
+           "func main(n) { var i; var s; for (i = 0; i < n; i = i + 1) { s = s + i; } return s; }",
+           R"(func main(n) {
+                var i; var j; var s;
+                for (i = 0; i < n; i = i + 1) {
+                  for (j = 0; j < n; j = j + 1) { s = s + i * j; }
+                }
+                while (s > 10) { s = s / 2; }
+                return s;
+              })"}) {
+    const dsl::LoweredProgram p = dsl::Compile(src);
+    const RegionTree inferred = InferRegions(p.module);
+    auto count_loops = [](const RegionTree& t) {
+      int n = 0;
+      for (const RegionNode& r : t.nodes()) {
+        if (r.kind == RegionKind::kLoop) ++n;
+      }
+      return n;
+    };
+    EXPECT_EQ(count_loops(inferred), count_loops(p.regions)) << src;
+  }
+}
+
+TEST(InferRegions, NestedLoopDepths) {
+  const dsl::LoweredProgram p = dsl::Compile(R"(
+    func main(n) {
+      var i; var j; var s;
+      for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) { s = s + 1; }
+      }
+      return s;
+    })");
+  const RegionTree inferred = InferRegions(p.module);
+  int depth1 = 0, depth2 = 0;
+  for (const RegionNode& n : inferred.nodes()) {
+    if (n.kind != RegionKind::kLoop) continue;
+    if (n.loop_depth == 1) ++depth1;
+    if (n.loop_depth == 2) ++depth2;
+  }
+  EXPECT_EQ(depth1, 1);
+  EXPECT_EQ(depth2, 1);
+}
+
+}  // namespace
+}  // namespace lopass::ir

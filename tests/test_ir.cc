@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "ir/module.h"
+#include "ir/print.h"
+#include "ir/region.h"
+#include "ir/verify.h"
+
+namespace lopass::ir {
+namespace {
+
+Module MakeMinimalModule() {
+  Module m;
+  const FunctionId f = m.AddFunction("main");
+  FunctionBuilder fb(m, f);
+  const BlockId b = fb.NewBlock();
+  fb.SetBlock(b);
+  fb.EmitRet(Operand::Imm(0));
+  m.AssignAddresses();
+  return m;
+}
+
+TEST(IrModule, SymbolTable) {
+  Module m;
+  const SymbolId g = m.AddScalar("g");
+  const SymbolId a = m.AddArray("arr", 10);
+  EXPECT_EQ(m.symbol(g).kind, SymbolKind::kScalar);
+  EXPECT_EQ(m.symbol(a).kind, SymbolKind::kArray);
+  EXPECT_EQ(m.symbol(a).length, 10u);
+  EXPECT_TRUE(m.FindSymbol("g", -1).has_value());
+  EXPECT_FALSE(m.FindSymbol("nope", -1).has_value());
+  EXPECT_THROW(m.AddArray("zero", 0), Error);
+}
+
+TEST(IrModule, LocalSymbolsShadowGlobals) {
+  Module m;
+  const SymbolId g = m.AddScalar("x");
+  m.AddFunction("f");
+  const SymbolId l = m.AddScalar("x", 0);
+  EXPECT_EQ(m.FindSymbol("x", 0).value(), l);
+  EXPECT_EQ(m.FindSymbol("x", -1).value(), g);
+  // A different function falls back to the global.
+  m.AddFunction("h");
+  EXPECT_EQ(m.FindSymbol("x", 1).value(), g);
+}
+
+TEST(IrModule, AddressAssignment) {
+  Module m;
+  const SymbolId a = m.AddScalar("a");
+  const SymbolId b = m.AddArray("b", 3);
+  const SymbolId c = m.AddScalar("c");
+  const std::uint32_t total = m.AssignAddresses();
+  EXPECT_EQ(total, 4u + 12u + 4u);
+  EXPECT_EQ(m.symbol(a).address, 0u);
+  EXPECT_EQ(m.symbol(b).address, 4u);
+  EXPECT_EQ(m.symbol(c).address, 16u);
+}
+
+TEST(IrModule, BlockSuccessors) {
+  Module m;
+  const FunctionId f = m.AddFunction("f");
+  FunctionBuilder fb(m, f);
+  const BlockId b0 = fb.NewBlock();
+  const BlockId b1 = fb.NewBlock();
+  const BlockId b2 = fb.NewBlock();
+  fb.SetBlock(b0);
+  const VregId c = fb.EmitConst(1);
+  fb.EmitCondBr(Operand::Vreg(c), b1, b2);
+  fb.SetBlock(b1);
+  fb.EmitBr(b2);
+  fb.SetBlock(b2);
+  fb.EmitRet();
+
+  const Function& fn = m.function(f);
+  EXPECT_EQ(fn.block(b0).successors(), (std::vector<BlockId>{b1, b2}));
+  EXPECT_EQ(fn.block(b1).successors(), (std::vector<BlockId>{b2}));
+  EXPECT_TRUE(fn.block(b2).successors().empty());
+
+  const auto preds = fn.ComputePredecessors();
+  EXPECT_EQ(preds[static_cast<std::size_t>(b2)].size(), 2u);
+}
+
+TEST(IrVerify, AcceptsMinimalModule) {
+  const Module m = MakeMinimalModule();
+  EXPECT_NO_THROW(Verify(m));
+}
+
+TEST(IrVerify, RejectsEmptyModule) {
+  Module m;
+  EXPECT_THROW(Verify(m), Error);
+}
+
+TEST(IrVerify, RejectsMissingTerminator) {
+  Module m;
+  const FunctionId f = m.AddFunction("f");
+  FunctionBuilder fb(m, f);
+  const BlockId b = fb.NewBlock();
+  fb.SetBlock(b);
+  fb.EmitConst(1);  // no terminator
+  EXPECT_THROW(Verify(m), Error);
+}
+
+TEST(IrVerify, RejectsUseBeforeDef) {
+  Module m;
+  const FunctionId f = m.AddFunction("f");
+  FunctionBuilder fb(m, f);
+  const BlockId b = fb.NewBlock();
+  fb.SetBlock(b);
+  // Manufacture an instruction reading an undefined vreg.
+  Instr in;
+  in.op = Opcode::kMov;
+  in.result = 5;
+  in.args = {Operand::Vreg(3)};
+  m.function(f).block(b).instrs.push_back(in);
+  Instr ret;
+  ret.op = Opcode::kRet;
+  m.function(f).block(b).instrs.push_back(ret);
+  m.function(f).next_vreg = 10;
+  EXPECT_THROW(Verify(m), Error);
+}
+
+TEST(IrVerify, RejectsBranchOutOfRange) {
+  Module m;
+  const FunctionId f = m.AddFunction("f");
+  FunctionBuilder fb(m, f);
+  const BlockId b = fb.NewBlock();
+  fb.SetBlock(b);
+  Instr br;
+  br.op = Opcode::kBr;
+  br.target0 = 99;
+  m.function(f).block(b).instrs.push_back(br);
+  EXPECT_THROW(Verify(m), Error);
+}
+
+TEST(IrVerify, RejectsCallArityMismatch) {
+  Module m;
+  const FunctionId callee = m.AddFunction("callee");
+  {
+    FunctionBuilder fb(m, callee);
+    const BlockId b = fb.NewBlock();
+    fb.SetBlock(b);
+    fb.EmitRet(Operand::Imm(0));
+    m.function(callee).params.push_back(m.AddScalar("p", callee));
+  }
+  const FunctionId caller = m.AddFunction("caller");
+  {
+    FunctionBuilder fb(m, caller);
+    const BlockId b = fb.NewBlock();
+    fb.SetBlock(b);
+    fb.EmitCall(m.function(callee).symbol, {});  // 0 args vs 1 param
+    fb.EmitRet();
+  }
+  EXPECT_THROW(Verify(m), Error);
+}
+
+TEST(IrPrint, ContainsSymbolsAndOpcodes) {
+  Module m;
+  const SymbolId g = m.AddScalar("counter");
+  const FunctionId f = m.AddFunction("main");
+  FunctionBuilder fb(m, f);
+  const BlockId b = fb.NewBlock();
+  fb.SetBlock(b);
+  const VregId v = fb.EmitReadVar(g);
+  const VregId w = fb.EmitBinary(Opcode::kAdd, Operand::Vreg(v), Operand::Imm(1));
+  fb.EmitWriteVar(g, Operand::Vreg(w));
+  fb.EmitRet();
+  m.AssignAddresses();
+  const std::string text = ToString(m);
+  EXPECT_NE(text.find("counter"), std::string::npos);
+  EXPECT_NE(text.find("readvar"), std::string::npos);
+  EXPECT_NE(text.find("add"), std::string::npos);
+  EXPECT_NE(text.find("func main"), std::string::npos);
+}
+
+TEST(Region, CoveredBlocksIsRecursive) {
+  RegionTree tree;
+  const RegionId root = tree.AddNode(RegionKind::kFunction, 0, kNoRegion, "f");
+  tree.SetFunctionRoot(0, root);
+  const RegionId loop = tree.AddNode(RegionKind::kLoop, 0, root, "loop");
+  const RegionId leaf = tree.AddNode(RegionKind::kLeaf, 0, loop, "leaf");
+  tree.AddBlock(loop, 1);
+  tree.AddBlock(leaf, 2);
+  tree.AddBlock(root, 0);
+  const auto blocks = tree.CoveredBlocks(root);
+  EXPECT_EQ(blocks.size(), 3u);
+  const auto loop_blocks = tree.CoveredBlocks(loop);
+  EXPECT_EQ(loop_blocks, (std::vector<BlockId>{1, 2}));
+}
+
+TEST(Region, LoopDepths) {
+  RegionTree tree;
+  const RegionId root = tree.AddNode(RegionKind::kFunction, 0, kNoRegion, "f");
+  const RegionId l1 = tree.AddNode(RegionKind::kLoop, 0, root, "outer");
+  const RegionId seq = tree.AddNode(RegionKind::kSequence, 0, l1, "body");
+  const RegionId l2 = tree.AddNode(RegionKind::kLoop, 0, seq, "inner");
+  tree.ComputeLoopDepths();
+  EXPECT_EQ(tree.node(root).loop_depth, 0);
+  EXPECT_EQ(tree.node(l1).loop_depth, 1);
+  EXPECT_EQ(tree.node(seq).loop_depth, 1);
+  EXPECT_EQ(tree.node(l2).loop_depth, 2);
+}
+
+TEST(Opcode, Metadata) {
+  EXPECT_TRUE(IsTerminator(Opcode::kRet));
+  EXPECT_TRUE(IsTerminator(Opcode::kCondBr));
+  EXPECT_FALSE(IsTerminator(Opcode::kAdd));
+  EXPECT_TRUE(IsBinaryArith(Opcode::kXor));
+  EXPECT_FALSE(IsBinaryArith(Opcode::kCmpLt));
+  EXPECT_TRUE(IsComparison(Opcode::kCmpLt));
+  EXPECT_TRUE(ProducesResult(Opcode::kLoadElem));
+  EXPECT_FALSE(ProducesResult(Opcode::kStoreElem));
+  EXPECT_EQ(OpcodeArity(Opcode::kAdd), 2);
+  EXPECT_EQ(OpcodeArity(Opcode::kNeg), 1);
+  EXPECT_EQ(OpcodeArity(Opcode::kReadVar), 0);
+  EXPECT_STREQ(OpcodeName(Opcode::kStoreElem), "storeelem");
+}
+
+}  // namespace
+}  // namespace lopass::ir

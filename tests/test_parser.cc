@@ -1,0 +1,170 @@
+#include "dsl/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/prng.h"
+
+namespace lopass::dsl {
+namespace {
+
+TEST(Parser, TopLevelDeclarations) {
+  const Program p = Parse("var g = 5; array buf[64]; func main() { return 0; }");
+  ASSERT_EQ(p.globals.size(), 2u);
+  EXPECT_EQ(p.globals[0]->kind, Stmt::Kind::kVarDecl);
+  EXPECT_EQ(p.globals[0]->name, "g");
+  ASSERT_NE(p.globals[0]->value, nullptr);
+  EXPECT_EQ(p.globals[0]->value->value, 5);
+  EXPECT_EQ(p.globals[1]->kind, Stmt::Kind::kArrayDecl);
+  EXPECT_EQ(p.globals[1]->array_len, 64u);
+  ASSERT_EQ(p.functions.size(), 1u);
+  EXPECT_EQ(p.functions[0].name, "main");
+}
+
+TEST(Parser, FunctionParameters) {
+  const Program p = Parse("func f(a, b, c) { return a; }");
+  EXPECT_EQ(p.functions[0].params, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  const Program p = Parse("func f() { var x; x = 1 + 2 * 3; }");
+  const Stmt& s = *p.functions[0].body[1];
+  ASSERT_EQ(s.kind, Stmt::Kind::kAssign);
+  const Expr& e = *s.value;
+  ASSERT_EQ(e.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e.bin_op, BinOp::kAdd);
+  EXPECT_EQ(e.args[1]->bin_op, BinOp::kMul);
+}
+
+TEST(Parser, PrecedenceShiftBelowAdd) {
+  // 1 << 2 + 3 parses as 1 << (2 + 3) in C.
+  const Program p = Parse("func f() { var x; x = 1 << 2 + 3; }");
+  const Expr& e = *p.functions[0].body[1]->value;
+  EXPECT_EQ(e.bin_op, BinOp::kShl);
+  EXPECT_EQ(e.args[1]->bin_op, BinOp::kAdd);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const Program p = Parse("func f() { var x; x = (1 + 2) * 3; }");
+  const Expr& e = *p.functions[0].body[1]->value;
+  EXPECT_EQ(e.bin_op, BinOp::kMul);
+  EXPECT_EQ(e.args[0]->bin_op, BinOp::kAdd);
+}
+
+TEST(Parser, UnaryOperators) {
+  const Program p = Parse("func f() { var x; x = -1; x = ~x; x = !x; x = +5; }");
+  EXPECT_EQ(p.functions[0].body[1]->value->un_op, UnOp::kNeg);
+  EXPECT_EQ(p.functions[0].body[2]->value->un_op, UnOp::kBitNot);
+  EXPECT_EQ(p.functions[0].body[3]->value->un_op, UnOp::kLogicalNot);
+  EXPECT_EQ(p.functions[0].body[4]->value->kind, Expr::Kind::kInt);
+}
+
+TEST(Parser, IfElseChain) {
+  const Program p = Parse(R"(
+    func f(a) {
+      if (a > 2) { return 2; }
+      else if (a > 1) { return 1; }
+      else { return 0; }
+    })");
+  const Stmt& s = *p.functions[0].body[0];
+  ASSERT_EQ(s.kind, Stmt::Kind::kIf);
+  ASSERT_EQ(s.else_body.size(), 1u);
+  EXPECT_EQ(s.else_body[0]->kind, Stmt::Kind::kIf);
+  EXPECT_EQ(s.else_body[0]->else_body.size(), 1u);
+}
+
+TEST(Parser, ForLoopParts) {
+  const Program p = Parse("func f() { var i; for (i = 0; i < 4; i = i + 1) { } }");
+  const Stmt& s = *p.functions[0].body[1];
+  ASSERT_EQ(s.kind, Stmt::Kind::kFor);
+  ASSERT_NE(s.init, nullptr);
+  ASSERT_NE(s.cond, nullptr);
+  ASSERT_NE(s.step, nullptr);
+  EXPECT_EQ(s.init->kind, Stmt::Kind::kAssign);
+}
+
+TEST(Parser, ForLoopPartsMayBeEmpty) {
+  const Program p = Parse("func f() { for (;;) { return 0; } }");
+  const Stmt& s = *p.functions[0].body[0];
+  EXPECT_EQ(s.init, nullptr);
+  EXPECT_EQ(s.cond, nullptr);
+  EXPECT_EQ(s.step, nullptr);
+}
+
+TEST(Parser, ArrayStoreAndLoad) {
+  const Program p = Parse("array a[8]; func f(i) { a[i] = a[i + 1]; }");
+  const Stmt& s = *p.functions[0].body[0];
+  ASSERT_EQ(s.kind, Stmt::Kind::kStore);
+  EXPECT_EQ(s.name, "a");
+  EXPECT_EQ(s.value->kind, Expr::Kind::kIndex);
+}
+
+TEST(Parser, CallsAndBuiltins) {
+  const Program p = Parse(R"(
+    func g(x) { return x; }
+    func f() { var y; y = g(3) + min(1, 2) + max(3, 4) + abs(-5); })");
+  const Expr& e = *p.functions[1].body[1]->value;
+  EXPECT_EQ(e.kind, Expr::Kind::kBinary);  // the + chain
+}
+
+TEST(Parser, ExpressionStatement) {
+  const Program p = Parse("func g() { return 0; } func f() { g(); }");
+  EXPECT_EQ(p.functions[1].body[0]->kind, Stmt::Kind::kExpr);
+}
+
+TEST(Parser, WhileLoop) {
+  const Program p = Parse("func f(n) { while (n > 0) { n = n - 1; } return n; }");
+  EXPECT_EQ(p.functions[0].body[0]->kind, Stmt::Kind::kWhile);
+}
+
+// Malformed inputs, parameterized.
+class ParserErrors : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserErrors, Throws) { EXPECT_THROW(Parse(GetParam()), lopass::Error); }
+
+INSTANTIATE_TEST_SUITE_P(
+    BadPrograms, ParserErrors,
+    ::testing::Values("func f( { }",                      // bad param list
+                      "func f() { var; }",                // missing name
+                      "func f() { x = ; }",               // missing expr
+                      "func f() { if a > 1 { } }",        // missing parens
+                      "array a[0];",                      // zero length
+                      "array a[-4];",                     // negative length
+                      "var g = x;",                       // non-const global init
+                      "func f() { return 1 }",            // missing semicolon
+                      "func f() { a[1 = 2; }",            // unclosed index
+                      "stray",                            // garbage at top level
+                      "func f() { for (return 0;;) {} }"  // bad for-init
+                      ));
+
+
+// Robustness: random token soup must never crash or hang — the parser
+// either produces a program or throws lopass::Error.
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, NeverCrashes) {
+  lopass::Prng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17);
+  static const char* kTokens[] = {
+      "func", "var",  "array", "if",    "else", "while", "for",  "return",
+      "main", "x",    "y",     "0",     "1",    "42",    "(",    ")",
+      "{",    "}",    "[",     "]",     ";",    ",",     "=",    "+",
+      "-",    "*",    "/",     "%",     "<",    ">",     "==",   "!=",
+      "<<",   ">>",   "&&",    "||",    "&",    "|",     "^",    "~",
+      "!",    "min",  "max",   "abs"};
+  std::string src;
+  const int len = 5 + static_cast<int>(rng.next_below(60));
+  for (int i = 0; i < len; ++i) {
+    src += kTokens[rng.next_below(sizeof(kTokens) / sizeof(kTokens[0]))];
+    src += ' ';
+  }
+  try {
+    (void)Parse(src);
+  } catch (const lopass::Error&) {
+    // expected for most soups
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Soups, ParserFuzz, ::testing::Range(0, 200));
+
+}  // namespace
+}  // namespace lopass::dsl

@@ -1,0 +1,57 @@
+#include "common/prng.h"
+
+#include <gtest/gtest.h>
+
+namespace lopass {
+namespace {
+
+TEST(Prng, DeterministicForSeed) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Prng, NextBelowRespectsBound) {
+  Prng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+  EXPECT_EQ(r.next_below(0), 0u);
+  EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Prng, NextInIsInclusive) {
+  Prng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, NextDoubleInUnitInterval) {
+  Prng r(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of U[0,1) should be near 0.5.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace lopass

@@ -1,0 +1,100 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace lopass::core {
+namespace {
+
+AppRow MakeRow() {
+  AppRow r;
+  r.app = "demo";
+  r.initial.icache = Energy::from_microjoules(100);
+  r.initial.dcache = Energy::from_microjoules(50);
+  r.initial.mem = Energy::from_microjoules(30);
+  r.initial.bus = Energy::from_microjoules(20);
+  r.initial.up_core = Energy::from_microjoules(800);
+  r.partitioned.icache = Energy::from_microjoules(10);
+  r.partitioned.dcache = Energy::from_microjoules(5);
+  r.partitioned.mem = Energy::from_microjoules(25);
+  r.partitioned.bus = Energy::from_microjoules(10);
+  r.partitioned.up_core = Energy::from_microjoules(200);
+  r.partitioned.asic_core = Energy::from_microjoules(50);
+  r.initial_time.up_cycles = 1'000'000;
+  r.partitioned_time.up_cycles = 300'000;
+  r.partitioned_time.asic_cycles = 200'000;
+  r.asic_cells = 12345;
+  r.asic_utilization = 0.42;
+  r.resource_set = "rs-small";
+  r.cluster = "for@7";
+  return r;
+}
+
+TEST(Report, TotalsAndPercentages) {
+  const AppRow r = MakeRow();
+  EXPECT_NEAR(r.initial.total().microjoules(), 1000.0, 1e-9);
+  EXPECT_NEAR(r.partitioned.total().microjoules(), 300.0, 1e-9);
+  EXPECT_NEAR(r.saving_percent(), -70.0, 1e-9);
+  EXPECT_EQ(r.initial_time.total(), 1'000'000u);
+  EXPECT_EQ(r.partitioned_time.total(), 500'000u);
+  EXPECT_NEAR(r.time_change_percent(), -50.0, 1e-9);
+}
+
+TEST(Report, ZeroBaselineIsSafe) {
+  AppRow r;
+  EXPECT_DOUBLE_EQ(r.saving_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(r.time_change_percent(), 0.0);
+}
+
+TEST(Report, Table1LayoutAndBusFolding) {
+  const AppRow r = MakeRow();
+  const std::string t = RenderTable1({r}).ToString();
+  EXPECT_NE(t.find("demo"), std::string::npos);
+  EXPECT_NE(t.find("i-cache"), std::string::npos);
+  EXPECT_NE(t.find("ASIC core"), std::string::npos);
+  // The paper's "mem" column folds the bus: 30+20 uJ initial.
+  EXPECT_NE(t.find("50.000uJ"), std::string::npos);
+  // Cycles grouped like the paper: 1,000,000.
+  EXPECT_NE(t.find("1,000,000"), std::string::npos);
+  EXPECT_NE(t.find("-70.00"), std::string::npos);
+  // Initial rows have no ASIC entry.
+  EXPECT_NE(t.find("n/a"), std::string::npos);
+}
+
+TEST(Report, Fig6SeriesAndBars) {
+  const AppRow r = MakeRow();
+  const std::string f = RenderFig6({r});
+  EXPECT_NE(f.find("Energy Sav%"), std::string::npos);
+  EXPECT_NE(f.find("-70.00"), std::string::npos);
+  EXPECT_NE(f.find("rs-small"), std::string::npos);
+  // Bars use '#' for energy and '%' for a time reduction.
+  EXPECT_NE(f.find('#'), std::string::npos);
+  EXPECT_NE(f.find('%'), std::string::npos);
+}
+
+TEST(Report, Fig6MarksSlowdownsDifferently) {
+  AppRow slow = MakeRow();
+  slow.partitioned_time.asic_cycles = 2'000'000;  // net slowdown
+  const std::string f = RenderFig6({slow});
+  EXPECT_NE(f.find('+'), std::string::npos);
+}
+
+TEST(Report, CsvSchemaIsStable) {
+  const AppRow r = MakeRow();
+  const std::string csv = ToCsv({r});
+  const std::string header = csv.substr(0, csv.find('\n'));
+  EXPECT_EQ(header,
+            "app,icache_i,dcache_i,mem_i,bus_i,up_i,total_i,"
+            "icache_p,dcache_p,mem_p,bus_p,up_p,asic_p,total_p,"
+            "cycles_i,up_cycles_p,asic_cycles_p,saving_pct,time_change_pct,"
+            "asic_cells,asic_utilization,resource_set,cluster");
+  EXPECT_NE(csv.find("demo,"), std::string::npos);
+  EXPECT_NE(csv.find("\"for@7\""), std::string::npos);
+  // Exactly 23 columns in the data row.
+  const std::string data = csv.substr(csv.find('\n') + 1);
+  EXPECT_EQ(std::count(data.begin(), data.end(), ','), 22);
+}
+
+}  // namespace
+}  // namespace lopass::core

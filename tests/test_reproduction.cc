@@ -1,0 +1,144 @@
+// Reproduction gate: the full-scale runs of all six applications must
+// land in the paper's bands (Table 1 / Fig. 6). Absolute joules are
+// not comparable (the models are reconstructed, see DESIGN.md §5), so
+// the assertions check the paper's qualitative and quantitative *shape*:
+//   * every application saves substantial energy (30..96%),
+//   * the per-application savings ordering matches the paper,
+//   * execution time improves for all applications except trick, which
+//     gets slower,
+//   * the additional hardware stays in the "less than ~16k cells" band,
+//   * whole-system accounting: cache energies collapse when the hot
+//     cluster moves to the ASIC core.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/app.h"
+
+namespace lopass::apps {
+namespace {
+
+struct Measured {
+  core::AppRow row;
+  PaperReference paper;
+};
+
+const std::map<std::string, Measured>& RunAll() {
+  static const std::map<std::string, Measured>* results = [] {
+    auto* m = new std::map<std::string, Measured>();
+    for (const Application& app : AllApplications()) {
+      const core::PartitionResult r = RunApplication(app);
+      (*m)[app.name] = Measured{r.ToRow(app.name), app.paper};
+    }
+    return m;
+  }();
+  return *results;
+}
+
+TEST(Reproduction, EveryApplicationIsPartitioned) {
+  for (const auto& [name, m] : RunAll()) {
+    EXPECT_NE(m.row.cluster, "(none)") << name;
+  }
+}
+
+TEST(Reproduction, SavingsFallInThePaperBand) {
+  // Paper: "high reductions of power consumption between 35% and 94%".
+  for (const auto& [name, m] : RunAll()) {
+    EXPECT_LT(m.row.saving_percent(), -20.0) << name;
+    EXPECT_GT(m.row.saving_percent(), -97.0) << name;
+    // Within 12 percentage points of the paper's value.
+    EXPECT_NEAR(m.row.saving_percent(), m.paper.saving_percent, 12.0) << name;
+  }
+}
+
+TEST(Reproduction, SavingsOrderingMatchesPaper) {
+  const auto& all = RunAll();
+  auto sav = [&](const char* n) { return all.at(n).row.saving_percent(); };
+  // engine < 3d < MPG < ckey < digs/trick (more negative = better).
+  EXPECT_GT(sav("engine"), sav("3d"));
+  EXPECT_GT(sav("3d"), sav("MPG"));
+  EXPECT_GT(sav("MPG"), sav("ckey"));
+  EXPECT_GT(sav("ckey"), sav("digs"));
+  EXPECT_GT(sav("ckey"), sav("trick"));
+}
+
+TEST(Reproduction, ExecutionTimeSigns) {
+  // "we achieved high energy savings but not at the cost of
+  // performance (except for one case)" — trick slows down, the rest
+  // speed up.
+  for (const auto& [name, m] : RunAll()) {
+    if (name == "trick") {
+      EXPECT_GT(m.row.time_change_percent(), 30.0) << name;
+    } else {
+      EXPECT_LT(m.row.time_change_percent(), -10.0) << name;
+    }
+  }
+}
+
+TEST(Reproduction, HardwareOverheadBand) {
+  // "The largest (but still small) additional hardware effort accounted
+  // for slightly less than 16k cells."
+  for (const auto& [name, m] : RunAll()) {
+    EXPECT_GT(m.row.asic_cells, 1000.0) << name;
+    EXPECT_LT(m.row.asic_cells, 17000.0) << name;
+  }
+}
+
+TEST(Reproduction, WholeSystemAccounting) {
+  // The i-cache/d-cache energies drop dramatically for the apps whose
+  // hot cluster is nearly the whole program (the paper highlights
+  // trick: 5.58mJ -> 12.59uJ).
+  const auto& all = RunAll();
+  for (const char* name : {"trick", "digs"}) {
+    const Measured& m = all.at(name);
+    EXPECT_LT(m.row.partitioned.icache.joules, 0.05 * m.row.initial.icache.joules)
+        << name;
+    EXPECT_LT(m.row.partitioned.dcache.joules, 0.05 * m.row.initial.dcache.joules)
+        << name;
+  }
+}
+
+TEST(Reproduction, CkeyIsTheLeastMemoryIntensive) {
+  // Paper: for ckey "the contribution to total energy consumption
+  // could be neglected" for caches/memory. Our reconstruction cannot
+  // reach literal zero (fetches exist), but ckey must have the smallest
+  // memory-subsystem share of the suite.
+  const auto& all = RunAll();
+  auto mem_share = [](const core::AppRow& r) {
+    const double total = r.initial.total().joules;
+    return (r.initial.mem.joules + r.initial.bus.joules + r.initial.dcache.joules) /
+           total;
+  };
+  const double ckey_share = mem_share(all.at("ckey").row);
+  int larger = 0;
+  for (const auto& [name, m] : all) {
+    if (name == "ckey") continue;
+    if (mem_share(m.row) >= ckey_share) ++larger;
+  }
+  // At least four of the five others are more memory intensive, and
+  // ckey's memory-subsystem share is negligible in absolute terms.
+  EXPECT_GE(larger, 4);
+  EXPECT_LT(ckey_share, 0.05);
+}
+
+TEST(Reproduction, UtilizationGateHeld) {
+  // The chosen cores achieved a higher utilization rate than the µP on
+  // the same blocks — the core premise (§3.1).
+  for (const auto& [name, m] : RunAll()) {
+    EXPECT_GT(m.row.asic_utilization, 0.2) << name;
+    EXPECT_LE(m.row.asic_utilization, 1.0) << name;
+  }
+}
+
+TEST(Reproduction, TimeChangeMagnitudesRoughlyMatch) {
+  // Looser band than energy (the substrate's µP/ASIC speed ratio is
+  // reconstructed): within 35 percentage points.
+  for (const auto& [name, m] : RunAll()) {
+    EXPECT_NEAR(m.row.time_change_percent(), m.paper.time_change_percent, 35.0)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace lopass::apps

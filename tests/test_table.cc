@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace lopass {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.set_header({"a", "long-header"});
+  t.add_row({"xx", "y"});
+  const std::string s = t.ToString();
+  // Every line has the same width.
+  std::size_t width = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, width) << s;
+    pos = next + 1;
+  }
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("xx"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, SeparatorRows) {
+  TextTable t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.ToString();
+  // header sep + top + bottom + middle separator = 4 separator lines.
+  int dashes = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find("+-", pos)) != std::string::npos) {
+    ++dashes;
+    pos += 2;
+  }
+  EXPECT_EQ(dashes, 4);
+  EXPECT_EQ(t.row_count(), 3u);  // 2 data rows + 1 separator
+}
+
+TEST(TextTable, EmptyTableStillRenders) {
+  TextTable t;
+  t.set_header({"x"});
+  EXPECT_FALSE(t.ToString().empty());
+}
+
+}  // namespace
+}  // namespace lopass

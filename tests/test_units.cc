@@ -1,0 +1,72 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace lopass {
+namespace {
+
+TEST(Units, EnergyConversions) {
+  const Energy e = Energy::from_millijoules(2.5);
+  EXPECT_DOUBLE_EQ(e.joules, 2.5e-3);
+  EXPECT_DOUBLE_EQ(e.millijoules(), 2.5);
+  EXPECT_DOUBLE_EQ(e.microjoules(), 2500.0);
+  EXPECT_DOUBLE_EQ(Energy::from_picojoules(1e6).microjoules(), 1.0);
+  EXPECT_DOUBLE_EQ(Energy::from_nanojoules(1.0).picojoules(), 1000.0);
+}
+
+TEST(Units, EnergyArithmetic) {
+  Energy a = Energy::from_microjoules(3.0);
+  const Energy b = Energy::from_microjoules(1.5);
+  EXPECT_DOUBLE_EQ((a + b).microjoules(), 4.5);
+  EXPECT_DOUBLE_EQ((a - b).microjoules(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).microjoules(), 6.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).microjoules(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 3.0).microjoules(), 1.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.microjoules(), 4.5);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a.microjoules(), 3.0);
+  a *= 4.0;
+  EXPECT_DOUBLE_EQ(a.microjoules(), 12.0);
+}
+
+TEST(Units, EnergyComparison) {
+  EXPECT_LT(Energy::from_nanojoules(1.0), Energy::from_nanojoules(2.0));
+  EXPECT_NEAR(Energy::from_microjoules(1.0).joules,
+              Energy::from_nanojoules(1000.0).joules, 1e-18);
+  EXPECT_EQ(Energy::from_microjoules(2.0), Energy::from_microjoules(2.0));
+}
+
+TEST(Units, PowerTimesDurationIsEnergy) {
+  const Power p = Power::from_milliwatts(10.0);        // 10 mW
+  const Duration t = Duration::from_microseconds(5.0); // 5 us
+  EXPECT_DOUBLE_EQ((p * t).nanojoules(), 50.0);
+  EXPECT_DOUBLE_EQ((t * p).nanojoules(), 50.0);
+}
+
+TEST(Units, DurationConversions) {
+  EXPECT_DOUBLE_EQ(Duration::from_nanoseconds(40.0).seconds, 40e-9);
+  EXPECT_DOUBLE_EQ(Duration::from_milliseconds(1.0).microseconds(), 1000.0);
+  EXPECT_LT(Duration::from_nanoseconds(10.0), Duration::from_nanoseconds(20.0));
+}
+
+TEST(Units, FormatEnergyPicksReadableSuffix) {
+  EXPECT_EQ(FormatEnergy(Energy{0.0}), "0.0");
+  EXPECT_EQ(FormatEnergy(Energy::from_millijoules(140.92)), "140.920mJ");
+  EXPECT_EQ(FormatEnergy(Energy::from_microjoules(727.68)), "727.680uJ");
+  EXPECT_EQ(FormatEnergy(Energy::from_nanojoules(12.5)), "12.500nJ");
+  EXPECT_EQ(FormatEnergy(Energy::from_picojoules(3.0)), "3.000pJ");
+  EXPECT_EQ(FormatEnergy(Energy{1.5}), "1.500J");
+  // Negative values keep their sign.
+  EXPECT_EQ(FormatEnergy(Energy::from_microjoules(-2.0)), "-2.000uJ");
+}
+
+TEST(Units, FormatPercent) {
+  EXPECT_EQ(FormatPercent(-35.21), "-35.21");
+  EXPECT_EQ(FormatPercent(69.64), "+69.64");
+  EXPECT_EQ(FormatPercent(0.0), "+0.00");
+}
+
+}  // namespace
+}  // namespace lopass

@@ -1,0 +1,262 @@
+// lopass_cli — command-line driver for the low-power partitioner.
+//
+// Compiles a behavioral DSL file, installs a workload described on the
+// command line, runs the full partitioning flow (Fig. 5) and prints the
+// Table-1 style report, the chosen ASIC core, and optionally the IR,
+// the SL32 disassembly, or a CSV row.
+//
+// Usage:
+//   lopass_cli FILE.lp [options]
+//     --entry NAME            entry function (default: main)
+//     --arg VALUE             append an entry-function argument
+//     --set NAME=VALUE        set a global scalar before each run
+//     --fill NAME=rand:N:LO:HI[:SEED]   fill a global array randomly
+//     --fill NAME=ramp:N[:STEP]         fill with 0,STEP,2*STEP,...
+//     --opt                   run the IR optimization passes first
+//     --unroll K              unroll eligible for-loops K times
+//     --chaining              enable operator chaining in the scheduler
+//     --peephole              run the SL32 peephole optimizer
+//     --strategy lp|perf      low-power (default) or performance-driven
+//     --max-cells N           hard hardware cap in cells
+//     --max-clusters N        number of clusters to map (default 1)
+//     --hotspots              print the software hotspot report
+//     --csv                   emit a CSV row instead of tables
+//     --dump-ir               print the IR after compilation
+//     --dump-asm              print the SL32 program
+//     --emit-verilog          print structural Verilog for the chosen cores
+//
+// Example:
+//   lopass_cli examples/dsl/fir.lp --set n=1024 --fill coeff=ramp:16:2
+//     --fill signal=rand:1024:-128:127
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+#include "core/partitioner.h"
+#include "asic/verilog.h"
+#include "core/hotspots.h"
+#include "core/report.h"
+#include "dsl/lower.h"
+#include "ir/print.h"
+#include "isa/codegen.h"
+#include "opt/passes.h"
+
+namespace {
+
+using namespace lopass;
+
+struct ScalarSet {
+  std::string name;
+  std::int64_t value;
+};
+
+struct ArrayFill {
+  std::string name;
+  std::vector<std::int64_t> values;
+};
+
+[[noreturn]] void Usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: lopass_cli FILE.lp [--entry NAME] [--arg V] [--set N=V]\n"
+               "       [--fill N=rand:CNT:LO:HI[:SEED] | N=ramp:CNT[:STEP]]\n"
+               "       [--opt] [--chaining] [--strategy lp|perf] [--max-cells N]\n"
+               "       [--max-clusters N] [--csv] [--dump-ir] [--dump-asm]\n");
+  std::exit(2);
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) out.push_back(item);
+  return out;
+}
+
+ArrayFill ParseFill(const std::string& spec) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos) Usage("--fill needs NAME=KIND:...");
+  ArrayFill f;
+  f.name = spec.substr(0, eq);
+  const auto parts = Split(spec.substr(eq + 1), ':');
+  if (parts.empty()) Usage("--fill needs a kind");
+  if (parts[0] == "rand") {
+    if (parts.size() < 4) Usage("--fill NAME=rand:COUNT:LO:HI[:SEED]");
+    const long count = std::stol(parts[1]);
+    const long lo = std::stol(parts[2]);
+    const long hi = std::stol(parts[3]);
+    const std::uint64_t seed = parts.size() > 4 ? std::stoull(parts[4]) : 0x10Fa55;
+    Prng rng(seed);
+    for (long i = 0; i < count; ++i) f.values.push_back(rng.next_in(lo, hi));
+  } else if (parts[0] == "ramp") {
+    if (parts.size() < 2) Usage("--fill NAME=ramp:COUNT[:STEP]");
+    const long count = std::stol(parts[1]);
+    const long step = parts.size() > 2 ? std::stol(parts[2]) : 1;
+    for (long i = 0; i < count; ++i) f.values.push_back(i * step);
+  } else {
+    Usage("unknown fill kind (rand|ramp)");
+  }
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  const std::string path = argv[1];
+
+  std::string entry = "main";
+  std::vector<std::int64_t> args;
+  std::vector<ScalarSet> sets;
+  std::vector<ArrayFill> fills;
+  bool optimize = false, csv = false, dump_ir = false, dump_asm = false;
+  bool hotspots = false, emit_verilog = false;
+  int unroll = 1;
+  core::PartitionOptions options;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--entry") {
+      entry = next();
+      options.entry = entry;
+    } else if (a == "--arg") {
+      args.push_back(std::stoll(next()));
+    } else if (a == "--set") {
+      const std::string spec = next();
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) Usage("--set needs NAME=VALUE");
+      sets.push_back({spec.substr(0, eq), std::stoll(spec.substr(eq + 1))});
+    } else if (a == "--fill") {
+      fills.push_back(ParseFill(next()));
+    } else if (a == "--opt") {
+      optimize = true;
+    } else if (a == "--unroll") {
+      unroll = std::stoi(next());
+    } else if (a == "--chaining") {
+      options.scheduler.enable_chaining = true;
+    } else if (a == "--peephole") {
+      options.peephole = true;
+    } else if (a == "--strategy") {
+      const std::string s = next();
+      if (s == "lp") options.strategy = core::Strategy::kLowPower;
+      else if (s == "perf") options.strategy = core::Strategy::kPerformance;
+      else Usage("--strategy must be lp or perf");
+    } else if (a == "--max-cells") {
+      options.max_cells = std::stod(next());
+    } else if (a == "--max-clusters") {
+      options.max_hw_clusters = std::stoi(next());
+    } else if (a == "--csv") {
+      csv = true;
+    } else if (a == "--hotspots") {
+      hotspots = true;
+    } else if (a == "--emit-verilog") {
+      emit_verilog = true;
+      options.include_interconnect = true;  // builds the datapath
+    } else if (a == "--dump-ir") {
+      dump_ir = true;
+    } else if (a == "--dump-asm") {
+      dump_asm = true;
+    } else {
+      Usage(("unknown option " + a).c_str());
+    }
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  try {
+    dsl::LoweredProgram program =
+        unroll > 1 ? dsl::CompileWithUnroll(buf.str(), unroll) : dsl::Compile(buf.str());
+    if (optimize) {
+      const opt::PassStats stats = opt::RunStandardPasses(program.module);
+      if (!csv) std::printf("optimizer: %s\n", stats.ToString().c_str());
+    }
+    if (dump_ir) std::printf("%s\n", ir::ToString(program.module).c_str());
+    if (dump_asm) {
+      std::printf("%s\n", isa::ToString(isa::Generate(program.module)).c_str());
+    }
+
+    core::Workload workload;
+    workload.entry = entry;
+    workload.args = args;
+    workload.setup = [&sets, &fills](core::DataTarget& t) {
+      for (const ScalarSet& s : sets) t.SetScalar(s.name, s.value);
+      for (const ArrayFill& f : fills) t.FillArray(f.name, f.values);
+    };
+
+    core::Partitioner partitioner(program.module, program.regions, options);
+    const core::PartitionResult result = partitioner.Run(workload);
+    const core::AppRow row = result.ToRow(path);
+
+    if (csv) {
+      std::printf("%s", core::ToCsv({row}).c_str());
+      return 0;
+    }
+
+    if (hotspots) {
+      std::printf("%s\n",
+                  core::RenderHotspots(
+                      core::ComputeHotspots(result.chain, result.initial_run))
+                      .c_str());
+    }
+    std::printf("evaluated %zu cluster/resource-set pairings\n",
+                result.evaluations.size());
+    if (emit_verilog) {
+      for (const core::PartitionDecision& d : result.selected) {
+        // Rebuild the datapath for emission (mirrors the partitioner's
+        // include_interconnect path).
+        const core::Cluster& c =
+            result.chain.clusters[static_cast<std::size_t>(d.cluster_id)];
+        const auto sets = options.resource_sets;
+        const sched::ResourceSet* rs = nullptr;
+        for (const sched::ResourceSet& set : sets) {
+          if (set.name == d.core.resource_set) rs = &set;
+        }
+        if (rs == nullptr) continue;
+        std::vector<sched::BlockDfg> dfgs;
+        std::vector<sched::BlockSchedule> schedules;
+        std::vector<asic::ScheduledBlock> sblocks;
+        for (const auto& [fn, b] : c.blocks) {
+          dfgs.push_back(sched::BuildBlockDfg(program.module.function(fn).block(b)));
+          schedules.push_back(sched::ListSchedule(dfgs.back(), *rs,
+                                                  power::TechLibrary::Cmos6(),
+                                                  options.scheduler));
+        }
+        for (std::size_t i = 0; i < c.blocks.size(); ++i) {
+          sblocks.push_back(asic::ScheduledBlock{&dfgs[i], &schedules[i], 0});
+        }
+        const auto util = asic::ComputeUtilization(sblocks, *rs, power::TechLibrary::Cmos6());
+        const auto dp = asic::BuildDatapath(sblocks, util, power::TechLibrary::Cmos6());
+        std::printf("%s\n", asic::EmitVerilog(d.core, dp).c_str());
+      }
+    }
+    for (const core::PartitionDecision& d : result.selected) {
+      std::printf("mapped: %-14s %-10s %.0f cells  U_R=%.3f  clock %.1f ns\n",
+                  d.cluster_label.c_str(), d.core.resource_set.c_str(), d.core.cells,
+                  d.core.utilization, d.core.clock_period.nanoseconds());
+    }
+    if (!result.partitioned()) std::printf("no profitable partition found\n");
+    std::printf("%s", core::RenderTable1({row}).ToString().c_str());
+    std::printf("energy saving %s%%   execution-time change %s%%\n",
+                FormatPercent(row.saving_percent()).c_str(),
+                FormatPercent(row.time_change_percent()).c_str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
