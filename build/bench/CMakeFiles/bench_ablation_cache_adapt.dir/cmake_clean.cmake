@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cache_adapt.dir/bench_ablation_cache_adapt.cc.o"
+  "CMakeFiles/bench_ablation_cache_adapt.dir/bench_ablation_cache_adapt.cc.o.d"
+  "bench_ablation_cache_adapt"
+  "bench_ablation_cache_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cache_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fds.dir/bench_ablation_fds.cc.o"
+  "CMakeFiles/bench_ablation_fds.dir/bench_ablation_fds.cc.o.d"
+  "bench_ablation_fds"
+  "bench_ablation_fds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

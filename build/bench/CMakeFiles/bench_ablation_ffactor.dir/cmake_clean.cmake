@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ffactor.dir/bench_ablation_ffactor.cc.o"
+  "CMakeFiles/bench_ablation_ffactor.dir/bench_ablation_ffactor.cc.o.d"
+  "bench_ablation_ffactor"
+  "bench_ablation_ffactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ffactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

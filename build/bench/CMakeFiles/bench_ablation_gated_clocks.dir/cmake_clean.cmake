@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gated_clocks.dir/bench_ablation_gated_clocks.cc.o"
+  "CMakeFiles/bench_ablation_gated_clocks.dir/bench_ablation_gated_clocks.cc.o.d"
+  "bench_ablation_gated_clocks"
+  "bench_ablation_gated_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gated_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

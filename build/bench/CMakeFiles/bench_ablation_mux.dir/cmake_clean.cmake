@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mux.dir/bench_ablation_mux.cc.o"
+  "CMakeFiles/bench_ablation_mux.dir/bench_ablation_mux.cc.o.d"
+  "bench_ablation_mux"
+  "bench_ablation_mux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

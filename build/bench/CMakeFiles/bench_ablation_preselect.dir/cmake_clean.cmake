@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_preselect.dir/bench_ablation_preselect.cc.o"
+  "CMakeFiles/bench_ablation_preselect.dir/bench_ablation_preselect.cc.o.d"
+  "bench_ablation_preselect"
+  "bench_ablation_preselect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_preselect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_resource_sets.dir/bench_ablation_resource_sets.cc.o"
+  "CMakeFiles/bench_ablation_resource_sets.dir/bench_ablation_resource_sets.cc.o.d"
+  "bench_ablation_resource_sets"
+  "bench_ablation_resource_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_resource_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

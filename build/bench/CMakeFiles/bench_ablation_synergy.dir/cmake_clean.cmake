@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_synergy.dir/bench_ablation_synergy.cc.o"
+  "CMakeFiles/bench_ablation_synergy.dir/bench_ablation_synergy.cc.o.d"
+  "bench_ablation_synergy"
+  "bench_ablation_synergy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_synergy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

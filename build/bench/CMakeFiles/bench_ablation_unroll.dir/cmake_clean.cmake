@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_unroll.dir/bench_ablation_unroll.cc.o"
+  "CMakeFiles/bench_ablation_unroll.dir/bench_ablation_unroll.cc.o.d"
+  "bench_ablation_unroll"
+  "bench_ablation_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

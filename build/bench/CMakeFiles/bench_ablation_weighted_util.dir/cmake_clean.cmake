@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_weighted_util.dir/bench_ablation_weighted_util.cc.o"
+  "CMakeFiles/bench_ablation_weighted_util.dir/bench_ablation_weighted_util.cc.o.d"
+  "bench_ablation_weighted_util"
+  "bench_ablation_weighted_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weighted_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

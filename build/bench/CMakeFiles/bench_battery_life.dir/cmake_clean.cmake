@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_battery_life.dir/bench_battery_life.cc.o"
+  "CMakeFiles/bench_battery_life.dir/bench_battery_life.cc.o.d"
+  "bench_battery_life"
+  "bench_battery_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_battery_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

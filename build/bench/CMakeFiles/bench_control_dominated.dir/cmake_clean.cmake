@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_control_dominated.dir/bench_control_dominated.cc.o"
+  "CMakeFiles/bench_control_dominated.dir/bench_control_dominated.cc.o.d"
+  "bench_control_dominated"
+  "bench_control_dominated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_dominated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dvs_combination.dir/bench_dvs_combination.cc.o"
+  "CMakeFiles/bench_dvs_combination.dir/bench_dvs_combination.cc.o.d"
+  "bench_dvs_combination"
+  "bench_dvs_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dvs_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

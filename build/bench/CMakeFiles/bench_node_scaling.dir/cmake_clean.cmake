@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_node_scaling.dir/bench_node_scaling.cc.o"
+  "CMakeFiles/bench_node_scaling.dir/bench_node_scaling.cc.o.d"
+  "bench_node_scaling"
+  "bench_node_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_node_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_iss.dir/energy_iss.cpp.o"
+  "CMakeFiles/energy_iss.dir/energy_iss.cpp.o.d"
+  "energy_iss"
+  "energy_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_profile.dir/power_profile.cpp.o"
+  "CMakeFiles/power_profile.dir/power_profile.cpp.o.d"
+  "power_profile"
+  "power_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

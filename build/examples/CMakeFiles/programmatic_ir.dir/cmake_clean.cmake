@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/programmatic_ir.dir/programmatic_ir.cpp.o"
+  "CMakeFiles/programmatic_ir.dir/programmatic_ir.cpp.o.d"
+  "programmatic_ir"
+  "programmatic_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/programmatic_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

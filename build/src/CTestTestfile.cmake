@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("power")
+subdirs("ir")
+subdirs("dsl")
+subdirs("interp")
+subdirs("isa")
+subdirs("iss")
+subdirs("cache")
+subdirs("sched")
+subdirs("asic")
+subdirs("core")
+subdirs("opt")
+subdirs("apps")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_apps.dir/app_3d.cc.o"
+  "CMakeFiles/lopass_apps.dir/app_3d.cc.o.d"
+  "CMakeFiles/lopass_apps.dir/app_ckey.cc.o"
+  "CMakeFiles/lopass_apps.dir/app_ckey.cc.o.d"
+  "CMakeFiles/lopass_apps.dir/app_digs.cc.o"
+  "CMakeFiles/lopass_apps.dir/app_digs.cc.o.d"
+  "CMakeFiles/lopass_apps.dir/app_engine.cc.o"
+  "CMakeFiles/lopass_apps.dir/app_engine.cc.o.d"
+  "CMakeFiles/lopass_apps.dir/app_mpg.cc.o"
+  "CMakeFiles/lopass_apps.dir/app_mpg.cc.o.d"
+  "CMakeFiles/lopass_apps.dir/app_trick.cc.o"
+  "CMakeFiles/lopass_apps.dir/app_trick.cc.o.d"
+  "CMakeFiles/lopass_apps.dir/registry.cc.o"
+  "CMakeFiles/lopass_apps.dir/registry.cc.o.d"
+  "liblopass_apps.a"
+  "liblopass_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asic/datapath.cc" "src/asic/CMakeFiles/lopass_asic.dir/datapath.cc.o" "gcc" "src/asic/CMakeFiles/lopass_asic.dir/datapath.cc.o.d"
+  "/root/repo/src/asic/synthesis.cc" "src/asic/CMakeFiles/lopass_asic.dir/synthesis.cc.o" "gcc" "src/asic/CMakeFiles/lopass_asic.dir/synthesis.cc.o.d"
+  "/root/repo/src/asic/utilization.cc" "src/asic/CMakeFiles/lopass_asic.dir/utilization.cc.o" "gcc" "src/asic/CMakeFiles/lopass_asic.dir/utilization.cc.o.d"
+  "/root/repo/src/asic/verilog.cc" "src/asic/CMakeFiles/lopass_asic.dir/verilog.cc.o" "gcc" "src/asic/CMakeFiles/lopass_asic.dir/verilog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lopass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lopass_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/lopass_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lopass_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

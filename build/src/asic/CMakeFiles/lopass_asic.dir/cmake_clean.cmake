@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_asic.dir/datapath.cc.o"
+  "CMakeFiles/lopass_asic.dir/datapath.cc.o.d"
+  "CMakeFiles/lopass_asic.dir/synthesis.cc.o"
+  "CMakeFiles/lopass_asic.dir/synthesis.cc.o.d"
+  "CMakeFiles/lopass_asic.dir/utilization.cc.o"
+  "CMakeFiles/lopass_asic.dir/utilization.cc.o.d"
+  "CMakeFiles/lopass_asic.dir/verilog.cc.o"
+  "CMakeFiles/lopass_asic.dir/verilog.cc.o.d"
+  "liblopass_asic.a"
+  "liblopass_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_cache.dir/cache_sim.cc.o"
+  "CMakeFiles/lopass_cache.dir/cache_sim.cc.o.d"
+  "CMakeFiles/lopass_cache.dir/trace_profiler.cc.o"
+  "CMakeFiles/lopass_cache.dir/trace_profiler.cc.o.d"
+  "liblopass_cache.a"
+  "liblopass_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

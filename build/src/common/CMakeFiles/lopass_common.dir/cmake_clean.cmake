@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_common.dir/error.cc.o"
+  "CMakeFiles/lopass_common.dir/error.cc.o.d"
+  "CMakeFiles/lopass_common.dir/logging.cc.o"
+  "CMakeFiles/lopass_common.dir/logging.cc.o.d"
+  "CMakeFiles/lopass_common.dir/table.cc.o"
+  "CMakeFiles/lopass_common.dir/table.cc.o.d"
+  "CMakeFiles/lopass_common.dir/units.cc.o"
+  "CMakeFiles/lopass_common.dir/units.cc.o.d"
+  "liblopass_common.a"
+  "liblopass_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/lopass_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/lopass_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/dataflow.cc" "src/core/CMakeFiles/lopass_core.dir/dataflow.cc.o" "gcc" "src/core/CMakeFiles/lopass_core.dir/dataflow.cc.o.d"
+  "/root/repo/src/core/hotspots.cc" "src/core/CMakeFiles/lopass_core.dir/hotspots.cc.o" "gcc" "src/core/CMakeFiles/lopass_core.dir/hotspots.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/core/CMakeFiles/lopass_core.dir/partitioner.cc.o" "gcc" "src/core/CMakeFiles/lopass_core.dir/partitioner.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/lopass_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/lopass_core.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lopass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lopass_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/lopass_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lopass_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/lopass_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/lopass_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lopass_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lopass_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/lopass_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/lopass_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_core.dir/cluster.cc.o"
+  "CMakeFiles/lopass_core.dir/cluster.cc.o.d"
+  "CMakeFiles/lopass_core.dir/dataflow.cc.o"
+  "CMakeFiles/lopass_core.dir/dataflow.cc.o.d"
+  "CMakeFiles/lopass_core.dir/hotspots.cc.o"
+  "CMakeFiles/lopass_core.dir/hotspots.cc.o.d"
+  "CMakeFiles/lopass_core.dir/partitioner.cc.o"
+  "CMakeFiles/lopass_core.dir/partitioner.cc.o.d"
+  "CMakeFiles/lopass_core.dir/report.cc.o"
+  "CMakeFiles/lopass_core.dir/report.cc.o.d"
+  "liblopass_core.a"
+  "liblopass_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

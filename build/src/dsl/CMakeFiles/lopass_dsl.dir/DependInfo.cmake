@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/lexer.cc" "src/dsl/CMakeFiles/lopass_dsl.dir/lexer.cc.o" "gcc" "src/dsl/CMakeFiles/lopass_dsl.dir/lexer.cc.o.d"
+  "/root/repo/src/dsl/lower.cc" "src/dsl/CMakeFiles/lopass_dsl.dir/lower.cc.o" "gcc" "src/dsl/CMakeFiles/lopass_dsl.dir/lower.cc.o.d"
+  "/root/repo/src/dsl/parser.cc" "src/dsl/CMakeFiles/lopass_dsl.dir/parser.cc.o" "gcc" "src/dsl/CMakeFiles/lopass_dsl.dir/parser.cc.o.d"
+  "/root/repo/src/dsl/transform.cc" "src/dsl/CMakeFiles/lopass_dsl.dir/transform.cc.o" "gcc" "src/dsl/CMakeFiles/lopass_dsl.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lopass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lopass_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_dsl.dir/lexer.cc.o"
+  "CMakeFiles/lopass_dsl.dir/lexer.cc.o.d"
+  "CMakeFiles/lopass_dsl.dir/lower.cc.o"
+  "CMakeFiles/lopass_dsl.dir/lower.cc.o.d"
+  "CMakeFiles/lopass_dsl.dir/parser.cc.o"
+  "CMakeFiles/lopass_dsl.dir/parser.cc.o.d"
+  "CMakeFiles/lopass_dsl.dir/transform.cc.o"
+  "CMakeFiles/lopass_dsl.dir/transform.cc.o.d"
+  "liblopass_dsl.a"
+  "liblopass_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

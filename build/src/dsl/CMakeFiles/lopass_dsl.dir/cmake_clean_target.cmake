@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblopass_dsl.a"
+)

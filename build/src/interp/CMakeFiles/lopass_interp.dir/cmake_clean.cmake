@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_interp.dir/interpreter.cc.o"
+  "CMakeFiles/lopass_interp.dir/interpreter.cc.o.d"
+  "liblopass_interp.a"
+  "liblopass_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

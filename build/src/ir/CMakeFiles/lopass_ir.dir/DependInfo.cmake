@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/infer_regions.cc" "src/ir/CMakeFiles/lopass_ir.dir/infer_regions.cc.o" "gcc" "src/ir/CMakeFiles/lopass_ir.dir/infer_regions.cc.o.d"
+  "/root/repo/src/ir/module.cc" "src/ir/CMakeFiles/lopass_ir.dir/module.cc.o" "gcc" "src/ir/CMakeFiles/lopass_ir.dir/module.cc.o.d"
+  "/root/repo/src/ir/opcode.cc" "src/ir/CMakeFiles/lopass_ir.dir/opcode.cc.o" "gcc" "src/ir/CMakeFiles/lopass_ir.dir/opcode.cc.o.d"
+  "/root/repo/src/ir/print.cc" "src/ir/CMakeFiles/lopass_ir.dir/print.cc.o" "gcc" "src/ir/CMakeFiles/lopass_ir.dir/print.cc.o.d"
+  "/root/repo/src/ir/region.cc" "src/ir/CMakeFiles/lopass_ir.dir/region.cc.o" "gcc" "src/ir/CMakeFiles/lopass_ir.dir/region.cc.o.d"
+  "/root/repo/src/ir/verify.cc" "src/ir/CMakeFiles/lopass_ir.dir/verify.cc.o" "gcc" "src/ir/CMakeFiles/lopass_ir.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lopass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

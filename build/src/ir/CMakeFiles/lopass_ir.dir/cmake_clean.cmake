@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_ir.dir/infer_regions.cc.o"
+  "CMakeFiles/lopass_ir.dir/infer_regions.cc.o.d"
+  "CMakeFiles/lopass_ir.dir/module.cc.o"
+  "CMakeFiles/lopass_ir.dir/module.cc.o.d"
+  "CMakeFiles/lopass_ir.dir/opcode.cc.o"
+  "CMakeFiles/lopass_ir.dir/opcode.cc.o.d"
+  "CMakeFiles/lopass_ir.dir/print.cc.o"
+  "CMakeFiles/lopass_ir.dir/print.cc.o.d"
+  "CMakeFiles/lopass_ir.dir/region.cc.o"
+  "CMakeFiles/lopass_ir.dir/region.cc.o.d"
+  "CMakeFiles/lopass_ir.dir/verify.cc.o"
+  "CMakeFiles/lopass_ir.dir/verify.cc.o.d"
+  "liblopass_ir.a"
+  "liblopass_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

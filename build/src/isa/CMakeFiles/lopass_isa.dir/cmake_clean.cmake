@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_isa.dir/codegen.cc.o"
+  "CMakeFiles/lopass_isa.dir/codegen.cc.o.d"
+  "CMakeFiles/lopass_isa.dir/encoding.cc.o"
+  "CMakeFiles/lopass_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/lopass_isa.dir/isa.cc.o"
+  "CMakeFiles/lopass_isa.dir/isa.cc.o.d"
+  "CMakeFiles/lopass_isa.dir/peephole.cc.o"
+  "CMakeFiles/lopass_isa.dir/peephole.cc.o.d"
+  "liblopass_isa.a"
+  "liblopass_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

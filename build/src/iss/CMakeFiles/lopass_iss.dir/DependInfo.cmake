@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iss/energy_model.cc" "src/iss/CMakeFiles/lopass_iss.dir/energy_model.cc.o" "gcc" "src/iss/CMakeFiles/lopass_iss.dir/energy_model.cc.o.d"
+  "/root/repo/src/iss/simulator.cc" "src/iss/CMakeFiles/lopass_iss.dir/simulator.cc.o" "gcc" "src/iss/CMakeFiles/lopass_iss.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lopass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lopass_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/lopass_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lopass_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/lopass_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_iss.dir/energy_model.cc.o"
+  "CMakeFiles/lopass_iss.dir/energy_model.cc.o.d"
+  "CMakeFiles/lopass_iss.dir/simulator.cc.o"
+  "CMakeFiles/lopass_iss.dir/simulator.cc.o.d"
+  "liblopass_iss.a"
+  "liblopass_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_opt.dir/passes.cc.o"
+  "CMakeFiles/lopass_opt.dir/passes.cc.o.d"
+  "liblopass_opt.a"
+  "liblopass_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/cache_energy.cc" "src/power/CMakeFiles/lopass_power.dir/cache_energy.cc.o" "gcc" "src/power/CMakeFiles/lopass_power.dir/cache_energy.cc.o.d"
+  "/root/repo/src/power/tech_library.cc" "src/power/CMakeFiles/lopass_power.dir/tech_library.cc.o" "gcc" "src/power/CMakeFiles/lopass_power.dir/tech_library.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lopass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

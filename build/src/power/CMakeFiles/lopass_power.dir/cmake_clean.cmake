@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_power.dir/cache_energy.cc.o"
+  "CMakeFiles/lopass_power.dir/cache_energy.cc.o.d"
+  "CMakeFiles/lopass_power.dir/tech_library.cc.o"
+  "CMakeFiles/lopass_power.dir/tech_library.cc.o.d"
+  "liblopass_power.a"
+  "liblopass_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/asap_alap.cc" "src/sched/CMakeFiles/lopass_sched.dir/asap_alap.cc.o" "gcc" "src/sched/CMakeFiles/lopass_sched.dir/asap_alap.cc.o.d"
+  "/root/repo/src/sched/dfg.cc" "src/sched/CMakeFiles/lopass_sched.dir/dfg.cc.o" "gcc" "src/sched/CMakeFiles/lopass_sched.dir/dfg.cc.o.d"
+  "/root/repo/src/sched/force_directed.cc" "src/sched/CMakeFiles/lopass_sched.dir/force_directed.cc.o" "gcc" "src/sched/CMakeFiles/lopass_sched.dir/force_directed.cc.o.d"
+  "/root/repo/src/sched/list_scheduler.cc" "src/sched/CMakeFiles/lopass_sched.dir/list_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/lopass_sched.dir/list_scheduler.cc.o.d"
+  "/root/repo/src/sched/resource_set.cc" "src/sched/CMakeFiles/lopass_sched.dir/resource_set.cc.o" "gcc" "src/sched/CMakeFiles/lopass_sched.dir/resource_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lopass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lopass_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/lopass_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

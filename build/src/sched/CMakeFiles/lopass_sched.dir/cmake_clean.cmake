@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_sched.dir/asap_alap.cc.o"
+  "CMakeFiles/lopass_sched.dir/asap_alap.cc.o.d"
+  "CMakeFiles/lopass_sched.dir/dfg.cc.o"
+  "CMakeFiles/lopass_sched.dir/dfg.cc.o.d"
+  "CMakeFiles/lopass_sched.dir/force_directed.cc.o"
+  "CMakeFiles/lopass_sched.dir/force_directed.cc.o.d"
+  "CMakeFiles/lopass_sched.dir/list_scheduler.cc.o"
+  "CMakeFiles/lopass_sched.dir/list_scheduler.cc.o.d"
+  "CMakeFiles/lopass_sched.dir/resource_set.cc.o"
+  "CMakeFiles/lopass_sched.dir/resource_set.cc.o.d"
+  "liblopass_sched.a"
+  "liblopass_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asap_alap.dir/test_asap_alap.cc.o"
+  "CMakeFiles/test_asap_alap.dir/test_asap_alap.cc.o.d"
+  "test_asap_alap"
+  "test_asap_alap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asap_alap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

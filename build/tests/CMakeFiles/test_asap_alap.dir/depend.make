@@ -1,0 +1,2 @@
+# Empty dependencies file for test_asap_alap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_sim.dir/test_cache_sim.cc.o"
+  "CMakeFiles/test_cache_sim.dir/test_cache_sim.cc.o.d"
+  "test_cache_sim"
+  "test_cache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

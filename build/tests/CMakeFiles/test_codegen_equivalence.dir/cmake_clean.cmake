@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen_equivalence.dir/test_codegen_equivalence.cc.o"
+  "CMakeFiles/test_codegen_equivalence.dir/test_codegen_equivalence.cc.o.d"
+  "test_codegen_equivalence"
+  "test_codegen_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datapath.dir/test_datapath.cc.o"
+  "CMakeFiles/test_datapath.dir/test_datapath.cc.o.d"
+  "test_datapath"
+  "test_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

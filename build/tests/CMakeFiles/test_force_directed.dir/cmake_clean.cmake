@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_force_directed.dir/test_force_directed.cc.o"
+  "CMakeFiles/test_force_directed.dir/test_force_directed.cc.o.d"
+  "test_force_directed"
+  "test_force_directed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_force_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

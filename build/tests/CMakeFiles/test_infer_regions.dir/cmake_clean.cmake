@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_infer_regions.dir/test_infer_regions.cc.o"
+  "CMakeFiles/test_infer_regions.dir/test_infer_regions.cc.o.d"
+  "test_infer_regions"
+  "test_infer_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_infer_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

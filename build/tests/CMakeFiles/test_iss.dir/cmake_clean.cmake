@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iss.dir/test_iss.cc.o"
+  "CMakeFiles/test_iss.dir/test_iss.cc.o.d"
+  "test_iss"
+  "test_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lower.dir/test_lower.cc.o"
+  "CMakeFiles/test_lower.dir/test_lower.cc.o.d"
+  "test_lower"
+  "test_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

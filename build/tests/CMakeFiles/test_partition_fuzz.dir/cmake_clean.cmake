@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_fuzz.dir/test_partition_fuzz.cc.o"
+  "CMakeFiles/test_partition_fuzz.dir/test_partition_fuzz.cc.o.d"
+  "test_partition_fuzz"
+  "test_partition_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peephole.dir/test_peephole.cc.o"
+  "CMakeFiles/test_peephole.dir/test_peephole.cc.o.d"
+  "test_peephole"
+  "test_peephole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peephole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_print_golden.dir/test_print_golden.cc.o"
+  "CMakeFiles/test_print_golden.dir/test_print_golden.cc.o.d"
+  "test_print_golden"
+  "test_print_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_print_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reproduction.dir/test_reproduction.cc.o"
+  "CMakeFiles/test_reproduction.dir/test_reproduction.cc.o.d"
+  "test_reproduction"
+  "test_reproduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reproduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

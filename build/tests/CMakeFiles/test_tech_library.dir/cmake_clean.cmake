@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_library.dir/test_tech_library.cc.o"
+  "CMakeFiles/test_tech_library.dir/test_tech_library.cc.o.d"
+  "test_tech_library"
+  "test_tech_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

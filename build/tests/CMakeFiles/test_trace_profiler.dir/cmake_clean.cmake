@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_profiler.dir/test_trace_profiler.cc.o"
+  "CMakeFiles/test_trace_profiler.dir/test_trace_profiler.cc.o.d"
+  "test_trace_profiler"
+  "test_trace_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_utilization.cc" "tests/CMakeFiles/test_utilization.dir/test_utilization.cc.o" "gcc" "tests/CMakeFiles/test_utilization.dir/test_utilization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/lopass_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lopass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/lopass_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lopass_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/lopass_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/lopass_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lopass_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/lopass_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lopass_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/lopass_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/lopass_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lopass_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lopass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

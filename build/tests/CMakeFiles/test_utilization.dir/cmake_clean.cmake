@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_utilization.dir/test_utilization.cc.o"
+  "CMakeFiles/test_utilization.dir/test_utilization.cc.o.d"
+  "test_utilization"
+  "test_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verilog.dir/test_verilog.cc.o"
+  "CMakeFiles/test_verilog.dir/test_verilog.cc.o.d"
+  "test_verilog"
+  "test_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lopass_cli.dir/lopass_cli.cc.o"
+  "CMakeFiles/lopass_cli.dir/lopass_cli.cc.o.d"
+  "lopass_cli"
+  "lopass_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lopass_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

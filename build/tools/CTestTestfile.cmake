@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_fir "/root/repo/build/tools/lopass_cli" "/root/repo/examples/dsl/fir.lp" "--set" "n=512" "--fill" "signal=rand:512:-128:127" "--fill" "coeff=ramp:16:2")
+set_tests_properties(cli_fir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_matmul_csv "/root/repo/build/tools/lopass_cli" "/root/repo/examples/dsl/matmul.lp" "--fill" "A=rand:256:-100:100" "--fill" "B=rand:256:-100:100" "--opt" "--csv")
+set_tests_properties(cli_matmul_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
