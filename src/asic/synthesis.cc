@@ -3,10 +3,13 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/fault.h"
+#include "common/units.h"
 
 namespace lopass::asic {
 
 Energy EstimateEnergy(const UtilizationResult& util, const power::TechLibrary& lib) {
+  fault::MaybeInject("estimate");
   // E_R^core = U_R^core · Σ_rs (P_av^rs · N_cyc^rs · T_cyc^rs)  (line 11),
   // with T_cyc^rs "the minimum cycle time the resource can run at".
   Energy sum;
@@ -22,6 +25,7 @@ AsicCore Synthesize(const std::string& name, const std::string& resource_set,
                     const UtilizationResult& util, const power::TechLibrary& lib,
                     int datapath_registers, const SynthesisOptions& options,
                     const Datapath* datapath) {
+  fault::MaybeInject("synth");
   AsicCore core;
   core.name = name;
   core.resource_set = resource_set;
@@ -80,6 +84,8 @@ AsicCore Synthesize(const std::string& name, const std::string& resource_set,
     datapath_energy += datapath->mux_energy_per_op * static_cast<double>(routed_operands);
   }
   core.refined_energy = datapath_energy * (1.0 + options.controller_energy_fraction);
+  CheckEnergySane(core.estimate_energy, "ASIC estimate energy");
+  CheckEnergySane(core.refined_energy, "ASIC refined energy");
   return core;
 }
 

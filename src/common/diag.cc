@@ -1,0 +1,83 @@
+#include "common/diag.h"
+
+#include <sstream>
+
+namespace lopass {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << SeverityName(severity);
+  if (!code.empty()) os << '[' << code << ']';
+  if (loc.valid()) {
+    os << ' ' << loc.line << ':' << loc.col;
+  }
+  os << ": " << message;
+  return os.str();
+}
+
+void DiagnosticSink::Add(Diagnostic d) {
+  if (d.severity == Severity::kError) ++error_count_;
+  if (diagnostics_.size() >= max_diagnostics_) {
+    ++dropped_;
+    return;
+  }
+  diagnostics_.push_back(std::move(d));
+}
+
+void DiagnosticSink::AddError(std::string code, std::string message, SourceLoc loc) {
+  Add(Diagnostic{Severity::kError, std::move(code), loc, std::move(message)});
+}
+
+void DiagnosticSink::AddWarning(std::string code, std::string message, SourceLoc loc) {
+  Add(Diagnostic{Severity::kWarning, std::move(code), loc, std::move(message)});
+}
+
+void DiagnosticSink::AddNote(std::string code, std::string message, SourceLoc loc) {
+  Add(Diagnostic{Severity::kNote, std::move(code), loc, std::move(message)});
+}
+
+void DiagnosticSink::clear() {
+  diagnostics_.clear();
+  error_count_ = 0;
+  dropped_ = 0;
+}
+
+std::string DiagnosticSink::ToString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    if (i) os << '\n';
+    os << diagnostics_[i].ToString();
+  }
+  if (dropped_ > 0) {
+    if (!diagnostics_.empty()) os << '\n';
+    os << "note: " << dropped_ << " further diagnostic(s) suppressed";
+  }
+  return os.str();
+}
+
+std::vector<Diagnostic> DiagnosticSink::Take() {
+  std::vector<Diagnostic> out = std::move(diagnostics_);
+  clear();
+  return out;
+}
+
+std::string JoinDiagnostics(const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    if (i) os << '\n';
+    os << diags[i].ToString();
+  }
+  if (diags.empty()) os << "operation failed (no diagnostics)";
+  return os.str();
+}
+
+}  // namespace lopass

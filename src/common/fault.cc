@@ -1,0 +1,127 @@
+#include "common/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace lopass::fault {
+
+namespace {
+
+struct Arm {
+  // 0 = fire on every hit; otherwise fire only on this 1-based hit.
+  std::uint64_t nth = 0;
+  bool fired = false;
+};
+
+struct State {
+  std::mutex mu;
+  std::string spec;
+  std::unordered_map<std::string, Arm> arms;
+  std::unordered_map<std::string, std::uint64_t> hits;
+};
+
+State& GetState() {
+  static State* s = new State();
+  return *s;
+}
+
+std::atomic<bool> g_enabled{false};
+std::once_flag g_env_once;
+
+// Parses "site[:N],site[:N],..." into the arm table. Malformed entries
+// are ignored (fault injection must never take the process down).
+void InstallLocked(State& st, const std::string& spec) {
+  st.spec = spec;
+  st.arms.clear();
+  st.hits.clear();
+  std::stringstream ss(spec);
+  std::string entry;
+  while (std::getline(ss, entry, ',')) {
+    if (entry.empty()) continue;
+    Arm arm;
+    std::string site = entry;
+    const auto colon = entry.find(':');
+    if (colon != std::string::npos) {
+      site = entry.substr(0, colon);
+      const std::string nth = entry.substr(colon + 1);
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(nth.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || v == 0) continue;
+      arm.nth = v;
+    }
+    if (site.empty()) continue;
+    st.arms[site] = arm;
+  }
+  g_enabled.store(!st.arms.empty(), std::memory_order_release);
+}
+
+void EnsureEnvLoaded() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("LOPASS_FAULT_INJECT");
+    if (env != nullptr && *env != '\0') {
+      State& st = GetState();
+      std::lock_guard<std::mutex> lock(st.mu);
+      InstallLocked(st, env);
+    }
+  });
+}
+
+}  // namespace
+
+bool Enabled() {
+  EnsureEnvLoaded();
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+void MaybeInject(const char* site) {
+  EnsureEnvLoaded();
+  if (!g_enabled.load(std::memory_order_acquire)) return;
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mu);
+  const std::uint64_t hit = ++st.hits[site];
+  auto it = st.arms.find(site);
+  if (it == st.arms.end()) return;
+  Arm& arm = it->second;
+  if (arm.nth != 0 && (arm.fired || hit != arm.nth)) return;
+  arm.fired = true;
+  std::ostringstream os;
+  os << "injected fault at site '" << site << "' (hit " << hit << ")";
+  throw InjectedFault(os.str());
+}
+
+void SetSpec(const std::string& spec) {
+  EnsureEnvLoaded();  // so a later ReloadFromEnv is well-defined
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mu);
+  InstallLocked(st, spec);
+}
+
+void ReloadFromEnv() {
+  const char* env = std::getenv("LOPASS_FAULT_INJECT");
+  SetSpec(env != nullptr ? env : "");
+}
+
+std::uint64_t HitCount(const char* site) {
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = st.hits.find(site);
+  return it == st.hits.end() ? 0 : it->second;
+}
+
+ScopedSpec::ScopedSpec(const std::string& spec) {
+  EnsureEnvLoaded();
+  {
+    State& st = GetState();
+    std::lock_guard<std::mutex> lock(st.mu);
+    previous_ = st.spec;
+  }
+  SetSpec(spec);
+}
+
+ScopedSpec::~ScopedSpec() { SetSpec(previous_); }
+
+}  // namespace lopass::fault

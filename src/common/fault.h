@@ -1,0 +1,72 @@
+#pragma once
+
+// Deterministic fault injection for robustness testing.
+//
+// The pipeline is instrumented with named sites (parse, alloc, profile,
+// sim, schedule, synth, estimate); each calls fault::MaybeInject(site)
+// on entry. When the LOPASS_FAULT_INJECT environment variable — or a
+// programmatic spec installed with SetSpec()/ScopedSpec — arms a site,
+// the call throws InjectedFault, which travels the same error paths a
+// real failure would. Tests and the CLI fault-check harness use this to
+// prove every stage degrades gracefully (diagnostic + fallback or a
+// clean nonzero exit), never crashes or hangs.
+//
+// Spec grammar (comma-separated):
+//   site        fire on every hit of `site`
+//   site:N      fire only on the N-th hit (1-based), then disarm
+// e.g. LOPASS_FAULT_INJECT=schedule        — every list schedule fails
+//      LOPASS_FAULT_INJECT=synth:1,sim:3   — first synthesis and third
+//                                            simulator run fail
+//
+// With no spec installed MaybeInject is a single relaxed atomic load.
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace lopass {
+
+// Thrown by an armed fault site. Derives from Error so existing
+// recovery paths treat it like any other failure, but stays
+// distinguishable so the partitioner can report it at error severity
+// instead of folding it into routine infeasibility.
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& what) : Error(what) {}
+};
+
+namespace fault {
+
+// True if any site is armed (cheap; callers need not pre-check).
+bool Enabled();
+
+// Throws InjectedFault if `site` is armed for this hit. Every call
+// increments the site's hit counter, armed or not.
+void MaybeInject(const char* site);
+
+// Installs a spec (see grammar above); empty string disarms everything
+// and resets hit counters.
+void SetSpec(const std::string& spec);
+
+// Re-reads LOPASS_FAULT_INJECT (the env var is also read automatically
+// on first use).
+void ReloadFromEnv();
+
+// Hits recorded for `site` since the last SetSpec/ReloadFromEnv.
+std::uint64_t HitCount(const char* site);
+
+// RAII spec installation for tests; restores the previous spec.
+class ScopedSpec {
+ public:
+  explicit ScopedSpec(const std::string& spec);
+  ~ScopedSpec();
+  ScopedSpec(const ScopedSpec&) = delete;
+  ScopedSpec& operator=(const ScopedSpec&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+}  // namespace fault
+}  // namespace lopass

@@ -1,13 +1,48 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
 
 namespace lopass {
 namespace {
+
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::once_flag g_env_once;
+
+void ApplyEnvOnce() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("LOPASS_LOG");
+    if (env != nullptr && *env != '\0') {
+      g_level.store(LogLevelFromString(env, g_level.load(std::memory_order_relaxed)),
+                    std::memory_order_relaxed);
+    }
+  });
+}
+
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
-void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() {
+  ApplyEnvOnce();
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void SetLogLevel(LogLevel level) {
+  ApplyEnvOnce();  // an explicit Set must not be overwritten by a later env read
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel LogLevelFromString(std::string_view name, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none" || lower == "silent") return LogLevel::kOff;
+  return fallback;
+}
 
 }  // namespace lopass

@@ -2,19 +2,29 @@
 
 // Very small leveled logger. The partitioner emits progress at Info
 // level; noisy per-cluster detail goes to Debug. Tests run silent by
-// default.
+// default. The LOPASS_LOG environment variable
+// (debug|info|warning|error|off) sets the initial threshold; an
+// explicit SetLogLevel() afterwards wins. kError messages are always
+// emitted regardless of the threshold — raising the level silences
+// progress chatter, never failure reports.
 
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace lopass {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
 
-// Global log threshold; messages below it are dropped.
+// Global log threshold; messages below it are dropped. The first call
+// applies LOPASS_LOG from the environment, if set.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// "debug"/"info"/"warning" (or "warn")/"error"/"off", case-insensitive;
+// anything else returns `fallback`.
+LogLevel LogLevelFromString(std::string_view name, LogLevel fallback);
 
 namespace internal {
 
@@ -24,7 +34,7 @@ class LogMessage {
     stream_ << '[' << tag << "] ";
   }
   ~LogMessage() {
-    if (level_ >= GetLogLevel()) {
+    if (level_ == LogLevel::kError || level_ >= GetLogLevel()) {
       std::cerr << stream_.str() << std::endl;
     }
   }

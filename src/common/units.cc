@@ -3,7 +3,19 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/error.h"
+
 namespace lopass {
+
+bool EnergyIsSane(Energy e) { return std::isfinite(e.joules); }
+
+void CheckEnergySane(Energy e, const char* what) {
+  if (!EnergyIsSane(e)) {
+    LOPASS_THROW(std::string(what) +
+                 " produced a non-finite energy value (model misconfiguration "
+                 "or overflowing accumulation)");
+  }
+}
 
 std::string FormatEnergy(Energy e) {
   const double j = e.joules;

@@ -86,6 +86,60 @@ struct Duration {
 constexpr Energy operator*(Power p, Duration t) { return Energy{p.watts * t.seconds}; }
 constexpr Energy operator*(Duration t, Power p) { return p * t; }
 
+// --- guarded accumulation ---------------------------------------------
+//
+// Cycle counters are unsigned 64-bit; a pathological workload (or a
+// corrupted model) must pin them at the ceiling rather than silently
+// wrap around to a small value. Energies are doubles; they cannot wrap
+// but can go non-finite (inf/NaN) through a misconfigured model — the
+// sanity check below turns that into a diagnostic instead of letting
+// NaNs poison every downstream comparison.
+
+inline constexpr Cycles kCyclesCeiling = ~static_cast<Cycles>(0);
+
+// a + b, clamped at kCyclesCeiling instead of wrapping.
+constexpr Cycles SaturatingAdd(Cycles a, Cycles b) {
+  return a > kCyclesCeiling - b ? kCyclesCeiling : a + b;
+}
+
+// a * b, clamped at kCyclesCeiling instead of wrapping.
+constexpr Cycles SaturatingMul(Cycles a, Cycles b) {
+  if (a == 0 || b == 0) return 0;
+  return a > kCyclesCeiling / b ? kCyclesCeiling : a * b;
+}
+
+// Two's-complement wrapping arithmetic for *simulated program values*:
+// the DSL/SL32 machine defines add/sub/mul/neg/shl to wrap at 64 bits,
+// so the execution engines must not inherit C++'s undefined behavior on
+// signed overflow. (Cycle/energy accounting saturates instead — see
+// SaturatingAdd above.)
+constexpr std::int64_t WrapAdd(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+constexpr std::int64_t WrapSub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+constexpr std::int64_t WrapMul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+constexpr std::int64_t WrapNeg(std::int64_t a) {
+  return static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(a));
+}
+constexpr std::int64_t WrapShl(std::int64_t a, std::int64_t sh) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a)
+                                   << (static_cast<std::uint64_t>(sh) & 63));
+}
+
+// True when the energy value is finite (negative values are allowed:
+// residual estimates may legitimately dip below zero by rounding).
+bool EnergyIsSane(Energy e);
+
+// Throws lopass::Error naming `what` if `e` is non-finite.
+void CheckEnergySane(Energy e, const char* what);
+
 // Formats an energy value the way the paper's Table 1 does: pick the
 // most readable suffix among J / mJ / uJ / nJ / pJ.
 std::string FormatEnergy(Energy e);

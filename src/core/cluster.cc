@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/error.h"
+#include "common/fault.h"
 
 namespace lopass::core {
 
@@ -90,6 +91,7 @@ const Cluster& ClusterChain::at_chain_pos(int pos) const {
 
 ClusterChain DecomposeIntoClusters(const ir::Module& module, const ir::RegionTree& regions,
                                    const std::string& entry) {
+  fault::MaybeInject("alloc");
   const auto entry_fn = module.FindFunction(entry);
   if (!entry_fn) LOPASS_THROW("no entry function named '" + entry + "'");
 

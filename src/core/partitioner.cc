@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/error.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "interp/interpreter.h"
 #include "isa/codegen.h"
@@ -126,7 +127,7 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
     InterpTarget t(profiler);
     workload.setup(t);
   }
-  profiler.Run(workload.entry, workload.args);
+  profiler.Run(workload.entry, workload.args, options_.max_interp_steps);
   const interp::Profile& profile = profiler.profile();
 
   // --- initial whole-system simulation ---------------------------------
@@ -135,11 +136,24 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
     SimTarget t(sim);
     workload.setup(t);
   }
-  result.initial_run = sim.Run(workload.entry, workload.args);
+  result.initial_run = sim.Run(workload.entry, workload.args, iss::HwPartition{},
+                               options_.max_sim_instrs);
   const Energy e0 = result.initial_run.energy.total();
 
   // --- Fig. 1 line 2: cluster decomposition ----------------------------
-  result.chain = DecomposeIntoClusters(module_, regions_, options_.entry);
+  // Isolation boundary: if decomposition fails, the all-software
+  // baseline is still a valid answer — record the failure and return it.
+  try {
+    result.chain = DecomposeIntoClusters(module_, regions_, options_.entry);
+  } catch (const Error& e) {
+    result.diagnostics.push_back(
+        Diagnostic{Severity::kError, "partition.cluster",
+                   SourceLoc{},
+                   std::string("cluster decomposition failed (all-software fallback): ") +
+                       e.what()});
+    result.partitioned_run = result.initial_run;
+    return result;
+  }
   const ClusterChain& chain = result.chain;
 
   // --- Fig. 1 lines 3-4: bus-transfer energy (Fig. 3) ------------------
@@ -198,6 +212,8 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
         schedules.push_back(
             sched::ListSchedule(dfgs.back(), rs, lib_, options_.scheduler));
       }
+    } catch (const InjectedFault&) {
+      throw;  // injected faults must reach the per-cluster isolation layer
     } catch (const Error& e) {
       ev.feasible = false;
       ev.reject_reason = e.what();
@@ -306,8 +322,26 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
       const Cluster& c = *r.cluster;
       if (selected_ids.count(c.id) || occupied_chain_pos.count(c.chain_pos)) continue;
       for (const sched::ResourceSet& rs : options_.resource_sets) {
-        ClusterEvaluation ev =
-            evaluate(c, rs, selected_ids, up_removed, asic_added, geq_added);
+        ClusterEvaluation ev;
+        // Per-cluster isolation: a candidate whose evaluation throws
+        // (rather than reporting infeasibility) is recorded and
+        // skipped; the flow continues with the remaining candidates
+        // and, worst case, falls back to the all-software baseline.
+        try {
+          ev = evaluate(c, rs, selected_ids, up_removed, asic_added, geq_added);
+        } catch (const Error& e) {
+          ev.cluster_id = c.id;
+          ev.cluster_label = c.label;
+          ev.resource_set = rs.name;
+          ev.feasible = false;
+          ev.reject_reason = e.what();
+          result.diagnostics.push_back(Diagnostic{
+              Severity::kError, "partition.evaluate", SourceLoc{},
+              "evaluation of cluster '" + c.label + "' with resource set '" + rs.name +
+                  "' failed (candidate skipped): " + e.what()});
+          LOPASS_LOG_WARN << "cluster '" << c.label << "' x '" << rs.name
+                             << "' evaluation failed: " << e.what();
+        }
         if (round == 0) result.evaluations.push_back(ev);
         if (!ev.feasible) continue;
         if (!best || ev.objective < best->objective) best = std::move(ev);
@@ -341,6 +375,7 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
 
   // --- Fig. 1 line 14: synthesize the winning cores --------------------
   for (const ClusterEvaluation& ev : kept) {
+    try {
     PartitionDecision d;
     d.cluster_id = ev.cluster_id;
     d.cluster_label = ev.cluster_label;
@@ -388,6 +423,22 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
     result.asic_cycles += d.core.cycles;
     result.asic_energy += d.core.refined_energy;
     result.selected.push_back(std::move(d));
+    } catch (const Error& e) {
+      // Isolation: a core that fails to synthesize is dropped — its
+      // cluster simply stays in software.
+      result.diagnostics.push_back(Diagnostic{
+          Severity::kError, "partition.synthesize", SourceLoc{},
+          "synthesis of core for cluster '" + ev.cluster_label +
+              "' failed (cluster stays in software): " + e.what()});
+      LOPASS_LOG_WARN << "synthesis failed for cluster '" << ev.cluster_label
+                         << "': " << e.what();
+    }
+  }
+  if (result.selected.empty()) {
+    result.asic_cycles = 0;
+    result.asic_energy = Energy{};
+    result.partitioned_run = result.initial_run;
+    return result;
   }
 
   // --- Fig. 1 line 15: whole-system partitioned re-estimation ----------
@@ -417,7 +468,21 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
     SimTarget t(part_sim);
     workload.setup(t);
   }
-  result.partitioned_run = part_sim.Run(workload.entry, workload.args, partition);
+  try {
+    result.partitioned_run =
+        part_sim.Run(workload.entry, workload.args, partition, options_.max_sim_instrs);
+  } catch (const Error& e) {
+    // Isolation: if the partitioned re-simulation fails, fall back to
+    // the (already validated) all-software result rather than crash.
+    result.diagnostics.push_back(Diagnostic{
+        Severity::kError, "partition.resim", SourceLoc{},
+        std::string("partitioned re-simulation failed (all-software fallback): ") +
+            e.what()});
+    result.selected.clear();
+    result.asic_cycles = 0;
+    result.asic_energy = Energy{};
+    result.partitioned_run = result.initial_run;
+  }
   return result;
 }
 

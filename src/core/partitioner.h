@@ -22,6 +22,7 @@
 
 #include "asic/synthesis.h"
 #include "asic/utilization.h"
+#include "common/diag.h"
 #include "core/cluster.h"
 #include "core/dataflow.h"
 #include "core/objective.h"
@@ -71,6 +72,11 @@ struct PartitionOptions {
   // Fold the steering-network (mux) area/energy into synthesized cores
   // (a cost Fig. 4's GEQ omits; see bench_ablation_mux).
   bool include_interconnect = false;
+  // Guard rails: fuel for the profiling interpreter and the cycle
+  // simulator. Hitting either limit aborts the flow with a clear error
+  // instead of hanging on a non-terminating workload.
+  std::uint64_t max_interp_steps = 500'000'000;
+  std::uint64_t max_sim_instrs = 2'000'000'000;
 };
 
 // Outcome of evaluating one (cluster, resource set) pair.
@@ -109,8 +115,23 @@ struct PartitionResult {
   Energy asic_energy;
   std::vector<ClusterEvaluation> evaluations;
   ClusterChain chain;
+  // Per-cluster failures isolated during the flow (a candidate whose
+  // scheduling/synthesis failed, a partitioned re-simulation that had
+  // to fall back, ...). The flow still returns a valid partition —
+  // worst case the all-software baseline — but drivers should surface
+  // these and treat any error-severity entry as a degraded (nonzero
+  // exit) run.
+  std::vector<Diagnostic> diagnostics;
 
   bool partitioned() const { return !selected.empty(); }
+  // True when any isolated failure was recorded (the result is still
+  // valid but the flow did not complete as requested).
+  bool degraded() const {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity == Severity::kError) return true;
+    }
+    return false;
+  }
   double total_cells() const;
   // Builds the Table 1 row for this application.
   AppRow ToRow(const std::string& app_name) const;

@@ -1,0 +1,119 @@
+#include "core/workload.h"
+
+#include <charconv>
+#include <limits>
+
+#include "common/prng.h"
+
+namespace lopass::core {
+
+namespace {
+
+// Parses a decimal (optionally signed) integer field; rejects trailing
+// junk and out-of-range values.
+bool ParseInt(std::string_view field, std::int64_t& out) {
+  const char* first = field.data();
+  const char* last = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+std::vector<std::string_view> SplitFields(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+Result<FillSpec> Bad(std::string message) {
+  return Result<FillSpec>::Failure(
+      Diagnostic{Severity::kError, "cli.fill", SourceLoc{}, std::move(message)});
+}
+
+// Arrays in the DSL are bounded well below this, and a larger COUNT is
+// certainly a typo — cap it so a bad spec cannot balloon memory.
+constexpr std::int64_t kMaxFillCount = 1 << 24;
+
+}  // namespace
+
+Result<FillSpec> ParseFillSpec(std::string_view spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string_view::npos) {
+    return Bad("fill spec '" + std::string(spec) + "' is missing '=' (want NAME=KIND:...)");
+  }
+  FillSpec f;
+  f.name = std::string(spec.substr(0, eq));
+  if (f.name.empty()) {
+    return Bad("fill spec '" + std::string(spec) + "' has an empty array name");
+  }
+  const auto fields = SplitFields(spec.substr(eq + 1), ':');
+  const std::string_view kind = fields[0];
+
+  if (kind == "rand") {
+    if (fields.size() < 4 || fields.size() > 5) {
+      return Bad("rand fill for '" + f.name + "' wants rand:COUNT:LO:HI[:SEED], got '" +
+                 std::string(spec.substr(eq + 1)) + "'");
+    }
+    std::int64_t count = 0, lo = 0, hi = 0;
+    std::int64_t seed = 0x10Fa55;
+    if (!ParseInt(fields[1], count)) {
+      return Bad("rand fill for '" + f.name + "': COUNT '" + std::string(fields[1]) +
+                 "' is not an integer");
+    }
+    if (count < 0 || count > kMaxFillCount) {
+      return Bad("rand fill for '" + f.name + "': COUNT " + std::to_string(count) +
+                 " out of range [0, " + std::to_string(kMaxFillCount) + "]");
+    }
+    if (!ParseInt(fields[2], lo) || !ParseInt(fields[3], hi)) {
+      return Bad("rand fill for '" + f.name + "': LO/HI must be integers, got '" +
+                 std::string(fields[2]) + "' and '" + std::string(fields[3]) + "'");
+    }
+    if (lo > hi) {
+      return Bad("rand fill for '" + f.name + "': LO " + std::to_string(lo) +
+                 " exceeds HI " + std::to_string(hi));
+    }
+    if (fields.size() == 5 && !ParseInt(fields[4], seed)) {
+      return Bad("rand fill for '" + f.name + "': SEED '" + std::string(fields[4]) +
+                 "' is not an integer");
+    }
+    Prng rng(static_cast<std::uint64_t>(seed));
+    f.values.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) f.values.push_back(rng.next_in(lo, hi));
+    return f;
+  }
+
+  if (kind == "ramp") {
+    if (fields.size() < 2 || fields.size() > 3) {
+      return Bad("ramp fill for '" + f.name + "' wants ramp:COUNT[:STEP], got '" +
+                 std::string(spec.substr(eq + 1)) + "'");
+    }
+    std::int64_t count = 0, step = 1;
+    if (!ParseInt(fields[1], count)) {
+      return Bad("ramp fill for '" + f.name + "': COUNT '" + std::string(fields[1]) +
+                 "' is not an integer");
+    }
+    if (count < 0 || count > kMaxFillCount) {
+      return Bad("ramp fill for '" + f.name + "': COUNT " + std::to_string(count) +
+                 " out of range [0, " + std::to_string(kMaxFillCount) + "]");
+    }
+    if (fields.size() == 3 && !ParseInt(fields[2], step)) {
+      return Bad("ramp fill for '" + f.name + "': STEP '" + std::string(fields[2]) +
+                 "' is not an integer");
+    }
+    f.values.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) f.values.push_back(i * step);
+    return f;
+  }
+
+  return Bad("unknown fill kind '" + std::string(kind) + "' for '" + f.name +
+             "' (want rand or ramp)");
+}
+
+}  // namespace lopass::core

@@ -10,7 +10,10 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/diag.h"
 
 namespace lopass::core {
 
@@ -28,5 +31,19 @@ struct Workload {
   // Called before every run to install input data deterministically.
   std::function<void(DataTarget&)> setup;
 };
+
+// A parsed `NAME=KIND:...` array-fill directive (the CLI's --fill).
+struct FillSpec {
+  std::string name;
+  std::vector<std::int64_t> values;
+};
+
+// Parses a fill directive of the form
+//   NAME=rand:COUNT:LO:HI[:SEED]   uniform values in [LO, HI]
+//   NAME=ramp:COUNT[:STEP]         0, STEP, 2*STEP, ...
+// Malformed specs (missing '=', unknown kind, non-numeric or
+// out-of-range fields, LO > HI, negative COUNT) come back as error
+// diagnostics with code "cli.fill" — never an exception or a crash.
+Result<FillSpec> ParseFillSpec(std::string_view spec);
 
 }  // namespace lopass::core

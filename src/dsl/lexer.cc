@@ -68,12 +68,21 @@ const std::unordered_map<std::string_view, TokKind>& Keywords() {
   return kw;
 }
 
-}  // namespace
-
-std::vector<Token> Tokenize(std::string_view src) {
+// Shared scanner. With a sink, lexical errors are recorded and the scan
+// continues past the offending characters; without one, the first error
+// throws (the historical contract).
+std::vector<Token> TokenizeImpl(std::string_view src, DiagnosticSink* sink) {
   std::vector<Token> out;
   std::size_t i = 0;
   int line = 1, col = 1;
+
+  // Reports one lexical error; returns normally only in recovery mode.
+  auto report = [&](int l, int c, const std::string& msg) {
+    if (sink == nullptr) {
+      LOPASS_THROW(msg + " at line " + std::to_string(l) + ":" + std::to_string(c));
+    }
+    sink->AddError("lex.invalid", msg, SourceLoc{l, c});
+  };
 
   auto advance = [&](std::size_t n = 1) {
     for (std::size_t k = 0; k < n && i < src.size(); ++k) {
@@ -112,10 +121,25 @@ std::vector<Token> Tokenize(std::string_view src) {
       advance(2);
       while (i < src.size() && !(src[i] == '*' && peek(1) == '/')) advance();
       if (i >= src.size()) {
-        LOPASS_THROW("unterminated block comment at line " + std::to_string(l) +
-                     ":" + std::to_string(cl));
+        report(l, cl, "unterminated block comment");
+        continue;  // recovery: the comment swallowed the rest of the file
       }
       advance(2);
+      continue;
+    }
+    if (c == '"') {
+      // The DSL has no string type; scan the literal as a unit so the
+      // diagnostic points at the opening quote and recovery resumes
+      // after the closing one.
+      const int l = line, cl = col;
+      advance();
+      while (i < src.size() && src[i] != '"') advance();
+      if (i >= src.size()) {
+        report(l, cl, "unterminated string literal");
+      } else {
+        advance();  // closing quote
+        report(l, cl, "string literals are not supported in the lopass DSL");
+      }
       continue;
     }
     const int l = line, cl = col;
@@ -142,7 +166,9 @@ std::vector<Token> Tokenize(std::string_view src) {
       if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
         j = i + 2;
         if (j >= src.size() || !std::isxdigit(static_cast<unsigned char>(src[j]))) {
-          LOPASS_THROW("malformed hex literal at line " + std::to_string(l));
+          report(l, cl, "malformed hex literal");
+          advance(2);  // recovery: skip the bare "0x" prefix
+          continue;
         }
         while (j < src.size() && std::isxdigit(static_cast<unsigned char>(src[j]))) {
           const char d = src[j];
@@ -217,8 +243,8 @@ std::vector<Token> Tokenize(std::string_view src) {
         }
         break;
       default:
-        LOPASS_THROW(std::string("unexpected character '") + c + "' at line " +
-                     std::to_string(l) + ":" + std::to_string(cl));
+        report(l, cl, std::string("unexpected character '") + c + "'");
+        advance();  // recovery: drop the character
     }
   }
   Token eof;
@@ -227,6 +253,14 @@ std::vector<Token> Tokenize(std::string_view src) {
   eof.col = col;
   out.push_back(eof);
   return out;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view src) { return TokenizeImpl(src, nullptr); }
+
+std::vector<Token> Tokenize(std::string_view src, DiagnosticSink& sink) {
+  return TokenizeImpl(src, &sink);
 }
 
 }  // namespace lopass::dsl

@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/diag.h"
+
 namespace lopass::dsl {
 
 enum class TokKind : std::uint8_t {
@@ -42,5 +44,12 @@ struct Token {
 // Tokenizes `source`; throws lopass::Error on malformed input. `//` and
 // `/* */` comments are skipped. Integer literals may be decimal or 0x hex.
 std::vector<Token> Tokenize(std::string_view source);
+
+// Recovery variant: malformed lexemes (unexpected characters, string
+// literals, unterminated comments, bad hex literals) are reported to
+// `sink` and skipped, so the parser can surface every problem in the
+// file instead of only the first. Always returns a token stream ending
+// in kEof.
+std::vector<Token> Tokenize(std::string_view source, DiagnosticSink& sink);
 
 }  // namespace lopass::dsl

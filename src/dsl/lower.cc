@@ -515,4 +515,61 @@ LoweredProgram CompileWithUnroll(std::string_view source, int unroll_factor,
   return p;
 }
 
+namespace {
+
+// Semantic errors are thrown as "line N: message" with a trailing
+// " (src/file.cc:NNN)" origin appended by LOPASS_THROW; recover the
+// source location and strip the internal origin so driver diagnostics
+// stay structured and speak about the user's DSL file.
+Diagnostic SemanticDiagnostic(std::string what) {
+  const std::size_t paren = what.rfind(" (");
+  if (paren != std::string::npos && what.size() > paren + 2 && what.back() == ')' &&
+      what.find(".cc:", paren) != std::string::npos) {
+    what.resize(paren);
+  }
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.code = "lower.semantic";
+  d.message = what;
+  if (what.rfind("line ", 0) == 0) {
+    std::size_t pos = 5;
+    int line = 0;
+    while (pos < what.size() && what[pos] >= '0' && what[pos] <= '9') {
+      line = line * 10 + (what[pos] - '0');
+      ++pos;
+    }
+    if (line > 0 && pos + 1 < what.size() && what[pos] == ':') {
+      d.loc = SourceLoc{line, 1};
+      d.message = what.substr(pos + 2);
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+Result<LoweredProgram> CompileToResult(std::string_view source, int unroll_factor,
+                                       int max_body_stmts) {
+  DiagnosticSink sink;
+  Program ast;
+  try {
+    ast = Parse(source, sink);
+  } catch (const Error& e) {
+    // Not a syntax error (those are recovered into the sink): an
+    // injected fault or an internal invariant in the frontend.
+    sink.AddError("parse.failed", e.what());
+    return Result<LoweredProgram>::Failure(sink.Take());
+  }
+  if (sink.has_errors()) return Result<LoweredProgram>::Failure(sink.Take());
+  try {
+    if (unroll_factor > 1) UnrollLoops(ast, unroll_factor, max_body_stmts);
+    LoweredProgram p = Lower(ast);
+    ir::Verify(p.module);
+    return Result<LoweredProgram>(std::move(p), sink.Take());
+  } catch (const Error& e) {
+    sink.Add(SemanticDiagnostic(e.what()));
+    return Result<LoweredProgram>::Failure(sink.Take());
+  }
+}
+
 }  // namespace lopass::dsl

@@ -10,6 +10,7 @@
 
 #include <string_view>
 
+#include "common/diag.h"
 #include "dsl/ast.h"
 #include "ir/module.h"
 #include "ir/region.h"
@@ -31,5 +32,12 @@ LoweredProgram Compile(std::string_view source);
 // Parse + AST transforms (loop unrolling) + lower + verify.
 LoweredProgram CompileWithUnroll(std::string_view source, int unroll_factor,
                                  int max_body_stmts = 16);
+
+// Diagnostic boundary for drivers: parse with error recovery (so every
+// syntax error in the file is reported, with source locations), then
+// lower + verify. Never throws for malformed input — all problems come
+// back as diagnostics on the failed Result.
+Result<LoweredProgram> CompileToResult(std::string_view source, int unroll_factor = 1,
+                                       int max_body_stmts = 16);
 
 }  // namespace lopass::dsl

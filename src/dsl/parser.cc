@@ -3,25 +3,37 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/fault.h"
 #include "dsl/lexer.h"
 
 namespace lopass::dsl {
 
 namespace {
 
+// Internal unwind signal used in recovery mode: Fail() records the
+// diagnostic, throws ParseAbort, and the nearest synchronization point
+// (statement or top-level loop) resumes parsing.
+struct ParseAbort {};
+
 class Parser {
  public:
-  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+  explicit Parser(std::vector<Token> toks, DiagnosticSink* sink = nullptr)
+      : toks_(std::move(toks)), sink_(sink) {}
 
   Program ParseProgram() {
     Program p;
     while (!At(TokKind::kEof)) {
-      if (At(TokKind::kFunc)) {
-        p.functions.push_back(ParseFunc());
-      } else if (At(TokKind::kVar) || At(TokKind::kArray)) {
-        p.globals.push_back(ParseDecl(/*global=*/true));
-      } else {
-        Fail("expected 'func', 'var' or 'array' at top level");
+      const std::size_t before = pos_;
+      try {
+        if (At(TokKind::kFunc)) {
+          p.functions.push_back(ParseFunc());
+        } else if (At(TokKind::kVar) || At(TokKind::kArray)) {
+          p.globals.push_back(ParseDecl(/*global=*/true));
+        } else {
+          Fail("expected 'func', 'var' or 'array' at top level");
+        }
+      } catch (const ParseAbort&) {
+        SyncTopLevel(before);
       }
     }
     return p;
@@ -48,8 +60,41 @@ class Parser {
   }
 
   [[noreturn]] void Fail(const std::string& msg) const {
+    if (sink_ != nullptr) {
+      sink_->AddError("parse.syntax", msg, SourceLoc{Cur().line, Cur().col});
+      throw ParseAbort{};
+    }
     LOPASS_THROW("parse error at line " + std::to_string(Cur().line) + ":" +
                  std::to_string(Cur().col) + ": " + msg);
+  }
+
+  // --- recovery synchronization -----------------------------------------
+
+  // Guarantees forward progress after an error raised at `error_pos`.
+  void EnsureProgress(std::size_t error_pos) {
+    if (pos_ == error_pos && !At(TokKind::kEof)) ++pos_;
+  }
+
+  // Skips to just past the next ';', or stops at '}' / EOF, so the
+  // enclosing block can continue with the next statement.
+  void SyncStmt(std::size_t error_pos) {
+    EnsureProgress(error_pos);
+    while (!At(TokKind::kEof) && !At(TokKind::kRBrace)) {
+      if (At(TokKind::kSemi)) {
+        ++pos_;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  // Skips to the next plausible top-level declaration.
+  void SyncTopLevel(std::size_t error_pos) {
+    EnsureProgress(error_pos);
+    while (!At(TokKind::kEof) && !At(TokKind::kFunc) && !At(TokKind::kVar) &&
+           !At(TokKind::kArray)) {
+      ++pos_;
+    }
   }
 
   FuncDecl ParseFunc() {
@@ -70,7 +115,18 @@ class Parser {
   std::vector<StmtPtr> ParseBlock() {
     Eat(TokKind::kLBrace);
     std::vector<StmtPtr> body;
-    while (!At(TokKind::kRBrace)) body.push_back(ParseStmt());
+    while (!At(TokKind::kRBrace) && !At(TokKind::kEof)) {
+      if (sink_ == nullptr) {
+        body.push_back(ParseStmt());
+        continue;
+      }
+      const std::size_t before = pos_;
+      try {
+        body.push_back(ParseStmt());
+      } catch (const ParseAbort&) {
+        SyncStmt(before);
+      }
+    }
     Eat(TokKind::kRBrace);
     return body;
   }
@@ -432,12 +488,20 @@ class Parser {
 
   std::vector<Token> toks_;
   std::size_t pos_ = 0;
+  DiagnosticSink* sink_ = nullptr;
 };
 
 }  // namespace
 
 Program Parse(std::string_view source) {
+  fault::MaybeInject("parse");
   Parser p(Tokenize(source));
+  return p.ParseProgram();
+}
+
+Program Parse(std::string_view source, DiagnosticSink& sink) {
+  fault::MaybeInject("parse");
+  Parser p(Tokenize(source, sink), &sink);
   return p.ParseProgram();
 }
 

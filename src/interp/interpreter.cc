@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/fault.h"
+#include "common/units.h"
 
 namespace lopass::interp {
 
@@ -82,6 +84,7 @@ std::int64_t Interpreter::GetScalar(const std::string& name) const {
 
 RunResult Interpreter::Run(const std::string& fn, std::span<const std::int64_t> args,
                            std::uint64_t max_steps) {
+  fault::MaybeInject("profile");
   const auto fid = module_.FindFunction(fn);
   if (!fid) LOPASS_THROW("no function named '" + fn + "'");
   step_limit_ = max_steps;
@@ -118,7 +121,10 @@ std::int64_t Interpreter::Exec(const ir::Function& fn, std::span<const std::int6
     const ir::BasicBlock& bb = fn.block(cur);
     bool jumped = false;
     for (const ir::Instr& in : bb.instrs) {
-      if (++steps_ > step_limit_) LOPASS_THROW("interpreter step limit exceeded");
+      if (++steps_ > step_limit_) {
+        LOPASS_THROW("interpreter fuel exhausted after " + std::to_string(step_limit_) +
+                     " steps (non-terminating workload?)");
+      }
       ++profile_.total_dynamic_ops;
       switch (in.op) {
         case Opcode::kConst:
@@ -184,9 +190,9 @@ std::int64_t Interpreter::Exec(const ir::Function& fn, std::span<const std::int6
           const std::int64_t b = Eval(in.args[1], vregs);
           std::int64_t r = 0;
           switch (in.op) {
-            case Opcode::kAdd: r = a + b; break;
-            case Opcode::kSub: r = a - b; break;
-            case Opcode::kMul: r = a * b; break;
+            case Opcode::kAdd: r = WrapAdd(a, b); break;
+            case Opcode::kSub: r = WrapSub(a, b); break;
+            case Opcode::kMul: r = WrapMul(a, b); break;
             case Opcode::kDiv:
               if (b == 0) LOPASS_THROW("division by zero");
               r = a / b;
@@ -198,7 +204,7 @@ std::int64_t Interpreter::Exec(const ir::Function& fn, std::span<const std::int6
             case Opcode::kAnd: r = a & b; break;
             case Opcode::kOr: r = a | b; break;
             case Opcode::kXor: r = a ^ b; break;
-            case Opcode::kShl: r = a << (b & 63); break;
+            case Opcode::kShl: r = WrapShl(a, b); break;
             case Opcode::kShr:
               r = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) >> (b & 63));
               break;
@@ -217,7 +223,7 @@ std::int64_t Interpreter::Exec(const ir::Function& fn, std::span<const std::int6
           break;
         }
         case Opcode::kNeg:
-          vregs[static_cast<std::size_t>(in.result)] = -Eval(in.args[0], vregs);
+          vregs[static_cast<std::size_t>(in.result)] = WrapNeg(Eval(in.args[0], vregs));
           break;
         case Opcode::kNot:
           vregs[static_cast<std::size_t>(in.result)] = ~Eval(in.args[0], vregs);

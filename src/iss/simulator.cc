@@ -1,8 +1,10 @@
 #include "iss/simulator.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.h"
+#include "common/fault.h"
 
 namespace lopass::iss {
 
@@ -66,6 +68,7 @@ std::int64_t Simulator::GetScalar(const std::string& name) const {
 
 SimResult Simulator::Run(const std::string& fn, std::span<const std::int64_t> args,
                          const HwPartition& partition, std::uint64_t max_instrs) {
+  fault::MaybeInject("sim");
   const auto fid = module_.FindFunction(fn);
   if (!fid) LOPASS_THROW("no function named '" + fn + "'");
   const isa::FuncInfo& entry_fn = program_.function(*fid);
@@ -107,7 +110,7 @@ SimResult Simulator::Run(const std::string& fn, std::span<const std::int64_t> ar
     const std::uint32_t w = partition.clusters[static_cast<std::size_t>(cluster)].entry_words;
     ++r.cluster_entries[static_cast<std::size_t>(cluster)];
     r.transfer_words_in += w;
-    r.up_cycles += static_cast<Cycles>(w) * 2;
+    r.up_cycles = SaturatingAdd(r.up_cycles, static_cast<Cycles>(w) * 2);
     r.energy.up_core += energy_.base_energy(InstrClass::kStore) * static_cast<double>(w);
     r.energy.bus += (lib_.bus_write_energy() + lib_.bus_read_energy()) * static_cast<double>(w);
     r.energy.mem += (mem_em.write_energy() + mem_em.read_energy()) * static_cast<double>(w);
@@ -117,7 +120,7 @@ SimResult Simulator::Run(const std::string& fn, std::span<const std::int64_t> ar
   auto account_exit = [&](int cluster) {
     const std::uint32_t w = partition.clusters[static_cast<std::size_t>(cluster)].exit_words;
     r.transfer_words_out += w;
-    r.up_cycles += static_cast<Cycles>(w) * 2;
+    r.up_cycles = SaturatingAdd(r.up_cycles, static_cast<Cycles>(w) * 2);
     r.energy.up_core += energy_.base_energy(InstrClass::kLoad) * static_cast<double>(w);
     r.energy.bus += (lib_.bus_write_energy() + lib_.bus_read_energy()) * static_cast<double>(w);
     r.energy.mem += (mem_em.write_energy() + mem_em.read_energy()) * static_cast<double>(w);
@@ -128,7 +131,10 @@ SimResult Simulator::Run(const std::string& fn, std::span<const std::int64_t> ar
   for (;;) {
     LOPASS_CHECK(pc < program_.code.size(), "pc out of range");
     const SlInstr& in = program_.code[pc];
-    if (++executed > max_instrs) LOPASS_THROW("simulator instruction limit exceeded");
+    if (++executed > max_instrs) {
+      LOPASS_THROW("simulator fuel exhausted after " + std::to_string(max_instrs) +
+                   " instructions (non-terminating workload?)");
+    }
 
     const int cluster = partition.empty() ? -1 : partition.ClusterOf(in.fn, in.block);
     if (cluster != prev_cluster) {
@@ -174,18 +180,18 @@ SimResult Simulator::Run(const std::string& fn, std::span<const std::int64_t> ar
     switch (in.op) {
       case SlOp::kNop:
         break;
-      case SlOp::kAdd: wr_reg(in.rd, rd_reg(in.rs1) + src2()); break;
-      case SlOp::kSub: wr_reg(in.rd, rd_reg(in.rs1) - src2()); break;
+      case SlOp::kAdd: wr_reg(in.rd, WrapAdd(rd_reg(in.rs1), src2())); break;
+      case SlOp::kSub: wr_reg(in.rd, WrapSub(rd_reg(in.rs1), src2())); break;
       case SlOp::kAnd: wr_reg(in.rd, rd_reg(in.rs1) & src2()); break;
       case SlOp::kOr: wr_reg(in.rd, rd_reg(in.rs1) | src2()); break;
       case SlOp::kXor: wr_reg(in.rd, rd_reg(in.rs1) ^ src2()); break;
-      case SlOp::kSll: wr_reg(in.rd, rd_reg(in.rs1) << (src2() & 63)); break;
+      case SlOp::kSll: wr_reg(in.rd, WrapShl(rd_reg(in.rs1), src2())); break;
       case SlOp::kSrl:
         wr_reg(in.rd, static_cast<std::int64_t>(
                           static_cast<std::uint64_t>(rd_reg(in.rs1)) >> (src2() & 63)));
         break;
       case SlOp::kSra: wr_reg(in.rd, rd_reg(in.rs1) >> (src2() & 63)); break;
-      case SlOp::kMul: wr_reg(in.rd, rd_reg(in.rs1) * src2()); break;
+      case SlOp::kMul: wr_reg(in.rd, WrapMul(rd_reg(in.rs1), src2())); break;
       case SlOp::kDiv: {
         const std::int64_t d = src2();
         if (d == 0) LOPASS_THROW("division by zero in SL32 program");
@@ -259,10 +265,10 @@ SimResult Simulator::Run(const std::string& fn, std::span<const std::int64_t> ar
           r.return_value = regs[isa::kRetValReg];
           // Final accounting for this instruction below, then halt.
           if (sw) {
-            r.up_cycles += instr_cycles;
+            r.up_cycles = SaturatingAdd(r.up_cycles, instr_cycles);
             r.energy.up_core += instr_energy;
             BlockCost& bc = r.block_costs[static_cast<std::size_t>(in.fn)][static_cast<std::size_t>(in.block)];
-            bc.cycles += instr_cycles;
+            bc.cycles = SaturatingAdd(bc.cycles, instr_cycles);
             bc.energy += instr_energy;
             ++bc.instrs;
           }
@@ -278,7 +284,7 @@ SimResult Simulator::Run(const std::string& fn, std::span<const std::int64_t> ar
       if (taken) {
         instr_cycles += 1;  // branch-taken pipeline bubble
       }
-      r.up_cycles += instr_cycles;
+      r.up_cycles = SaturatingAdd(r.up_cycles, instr_cycles);
       r.energy.up_core += instr_energy;
       if (config_.timeline_interval_cycles > 0 &&
           r.up_cycles >= next_sample) {
@@ -288,7 +294,7 @@ SimResult Simulator::Run(const std::string& fn, std::span<const std::int64_t> ar
         next_sample = r.up_cycles + config_.timeline_interval_cycles;
       }
       BlockCost& bc = r.block_costs[static_cast<std::size_t>(in.fn)][static_cast<std::size_t>(in.block)];
-      bc.cycles += instr_cycles;
+      bc.cycles = SaturatingAdd(bc.cycles, instr_cycles);
       bc.energy += instr_energy;
       ++bc.instrs;
       const std::uint32_t mask = energy_.active_resources(cls);
@@ -326,6 +332,7 @@ done:
     }
     r.up_utilization = sum / kNumAveragedUpResources;
   }
+  CheckEnergySane(r.energy.total(), "simulated system energy");
   return r;
 }
 

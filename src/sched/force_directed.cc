@@ -81,9 +81,20 @@ FdsSchedule ForceDirectedSchedule(const BlockDfg& dfg, const power::TechLibrary&
   };
 
   // Propagate frame tightening through the DAG after an assignment.
+  // Every pass that reports `changed` raises a lo or lowers a hi, and
+  // each of the n frames can move at most `latency` per bound, so the
+  // loop is capped at 2*n*(latency+1) passes; exceeding the cap means
+  // the frames oscillate (a malformed DFG) and we fail loudly instead
+  // of hanging.
   auto tighten = [&](std::vector<Frame>& frames) {
+    const std::uint64_t max_passes =
+        2 * static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(latency) + 1) + 8;
+    std::uint64_t passes = 0;
     bool changed = true;
     while (changed) {
+      LOPASS_CHECK(++passes <= max_passes,
+                   "force-directed scheduler failed to converge while tightening "
+                   "time frames (malformed DFG?)");
       changed = false;
       for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t s : dfg.nodes[i].succs) {

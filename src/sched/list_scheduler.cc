@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/fault.h"
 #include "ir/opcode.h"
 #include "sched/asap_alap.h"
 
@@ -13,6 +14,7 @@ using power::ResourceType;
 BlockSchedule ListSchedule(const BlockDfg& dfg, const ResourceSet& rs,
                            const power::TechLibrary& lib,
                            const SchedulerOptions& options) {
+  fault::MaybeInject("schedule");
   BlockSchedule sched;
   sched.ops.resize(dfg.size());
   if (dfg.size() == 0) {
@@ -78,7 +80,9 @@ BlockSchedule ListSchedule(const BlockDfg& dfg, const ResourceSet& rs,
   std::uint32_t makespan = 0;
 
   while (remaining > 0) {
-    LOPASS_CHECK(step < 4'000'000, "list scheduler failed to make progress");
+    LOPASS_CHECK(step < 4'000'000,
+                 "list scheduler iteration cap (4000000 steps) exceeded without "
+                 "scheduling every op (resource set too small or cyclic DFG?)");
     // Highest priority first; ties by program order.
     std::sort(ready.begin(), ready.end(), [&](std::size_t a, std::size_t b) {
       if (priority[a] != priority[b]) return priority[a] > priority[b];

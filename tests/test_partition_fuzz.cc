@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "common/fault.h"
 #include "common/prng.h"
 #include "core/partitioner.h"
 #include "dsl/lower.h"
@@ -92,6 +93,52 @@ TEST_P(PartitionFuzz, PartitionedSystemIsFunctionallyIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PartitionFuzz, ::testing::Range(0, 30));
+
+// Fault-injection fuzzing: arm a random site on a random hit for each
+// generated program. Whatever stage fails, the flow must either fail
+// fast with InjectedFault or return a result that is still functionally
+// identical to the unpartitioned system — never crash, hang, or report
+// a partition whose simulation diverges.
+TEST_P(PartitionFuzz, InjectedFaultsNeverCorruptResults) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ull + 7);
+  const std::string src = GenerateProgram(rng);
+
+  Workload w;
+  w.args = {rng.next_in(-100, 100)};
+  w.setup = [](DataTarget& t) {
+    Prng data(0xdada);
+    std::vector<std::int64_t> va, vb;
+    for (int i = 0; i < 32; ++i) {
+      va.push_back(data.next_in(-50, 50));
+      vb.push_back(data.next_in(-50, 50));
+    }
+    t.FillArray("a", va);
+    t.FillArray("b", vb);
+  };
+
+  PartitionOptions opts;
+  opts.max_hw_clusters = 1 + static_cast<int>(rng.next_below(2));
+  opts.use_synergy = rng.next_below(2) == 1;
+
+  const dsl::LoweredProgram p = dsl::Compile(src);
+  Partitioner part(p.module, p.regions, opts);
+  const std::int64_t expected = part.Run(w).initial_run.return_value;
+
+  const char* kSites[] = {"alloc", "profile", "sim", "schedule", "synth", "estimate"};
+  const char* site = kSites[rng.next_below(6)];
+  const std::int64_t nth = rng.next_in(1, 3);
+  SCOPED_TRACE(std::string(site) + ":" + std::to_string(nth) + "\n" + src);
+  fault::ScopedSpec spec(std::string(site) + ":" + std::to_string(nth));
+  try {
+    const PartitionResult r = part.Run(w);
+    EXPECT_EQ(r.initial_run.return_value, expected);
+    EXPECT_EQ(r.partitioned_run.return_value, expected);
+    if (!r.diagnostics.empty()) EXPECT_TRUE(r.degraded());
+  } catch (const InjectedFault&) {
+    // Fail-fast before a usable baseline exists is the other legal
+    // outcome (profiling or the initial simulation was hit).
+  }
+}
 
 }  // namespace
 }  // namespace lopass::core

@@ -5,6 +5,14 @@
 // Table-1 style report, the chosen ASIC core, and optionally the IR,
 // the SL32 disassembly, or a CSV row.
 //
+// Exit codes:
+//   0  the flow completed and the result is trustworthy
+//   1  a pipeline error: bad DSL input, a runtime fault in profiling or
+//      simulation, or a degraded flow (a cluster/synthesis/re-simulation
+//      failure was isolated — a valid fallback report is still printed,
+//      but the requested partition was not produced)
+//   2  a usage error (unknown option, malformed value, missing operand)
+//
 // Usage:
 //   lopass_cli FILE.lp [options]
 //     --entry NAME            entry function (default: main)
@@ -29,6 +37,7 @@
 //   lopass_cli examples/dsl/fir.lp --set n=1024 --fill coeff=ramp:16:2
 //     --fill signal=rand:1024:-128:127
 
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,10 +45,10 @@
 #include <string>
 #include <vector>
 
-#include "common/prng.h"
-#include "core/partitioner.h"
 #include "asic/verilog.h"
+#include "common/diag.h"
 #include "core/hotspots.h"
+#include "core/partitioner.h"
 #include "core/report.h"
 #include "dsl/lower.h"
 #include "ir/print.h"
@@ -55,53 +64,49 @@ struct ScalarSet {
   std::int64_t value;
 };
 
-struct ArrayFill {
-  std::string name;
-  std::vector<std::int64_t> values;
-};
-
 [[noreturn]] void Usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n", msg);
   std::fprintf(stderr,
                "usage: lopass_cli FILE.lp [--entry NAME] [--arg V] [--set N=V]\n"
                "       [--fill N=rand:CNT:LO:HI[:SEED] | N=ramp:CNT[:STEP]]\n"
                "       [--opt] [--chaining] [--strategy lp|perf] [--max-cells N]\n"
-               "       [--max-clusters N] [--csv] [--dump-ir] [--dump-asm]\n");
+               "       [--max-clusters N] [--csv] [--dump-ir] [--dump-asm]\n"
+               "exit codes: 0 ok, 1 pipeline error, 2 usage error\n");
   std::exit(2);
 }
 
-std::vector<std::string> Split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, sep)) out.push_back(item);
+// Whole-string integer parse; a malformed value is a usage error.
+std::int64_t ParseIntArg(const std::string& value, const char* what) {
+  std::int64_t out = 0;
+  const char* first = value.c_str();
+  const char* last = first + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec != std::errc{} || ptr != last) {
+    Usage((std::string(what) + " wants an integer, got '" + value + "'").c_str());
+  }
   return out;
 }
 
-ArrayFill ParseFill(const std::string& spec) {
-  const auto eq = spec.find('=');
-  if (eq == std::string::npos) Usage("--fill needs NAME=KIND:...");
-  ArrayFill f;
-  f.name = spec.substr(0, eq);
-  const auto parts = Split(spec.substr(eq + 1), ':');
-  if (parts.empty()) Usage("--fill needs a kind");
-  if (parts[0] == "rand") {
-    if (parts.size() < 4) Usage("--fill NAME=rand:COUNT:LO:HI[:SEED]");
-    const long count = std::stol(parts[1]);
-    const long lo = std::stol(parts[2]);
-    const long hi = std::stol(parts[3]);
-    const std::uint64_t seed = parts.size() > 4 ? std::stoull(parts[4]) : 0x10Fa55;
-    Prng rng(seed);
-    for (long i = 0; i < count; ++i) f.values.push_back(rng.next_in(lo, hi));
-  } else if (parts[0] == "ramp") {
-    if (parts.size() < 2) Usage("--fill NAME=ramp:COUNT[:STEP]");
-    const long count = std::stol(parts[1]);
-    const long step = parts.size() > 2 ? std::stol(parts[2]) : 1;
-    for (long i = 0; i < count; ++i) f.values.push_back(i * step);
-  } else {
-    Usage("unknown fill kind (rand|ramp)");
+double ParseDoubleArg(const std::string& value, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return out;
+  } catch (const std::exception&) {
+    Usage((std::string(what) + " wants a number, got '" + value + "'").c_str());
   }
-  return f;
+}
+
+// FILE:line:col: severity: message (line omitted when unknown).
+void PrintDiagnostic(const std::string& path, const Diagnostic& d) {
+  if (d.loc.valid()) {
+    std::fprintf(stderr, "%s:%d:%d: %s: %s\n", path.c_str(), d.loc.line, d.loc.col,
+                 SeverityName(d.severity), d.message.c_str());
+  } else {
+    std::fprintf(stderr, "%s: %s: %s\n", path.c_str(), SeverityName(d.severity),
+                 d.message.c_str());
+  }
 }
 
 }  // namespace
@@ -113,7 +118,7 @@ int main(int argc, char** argv) {
   std::string entry = "main";
   std::vector<std::int64_t> args;
   std::vector<ScalarSet> sets;
-  std::vector<ArrayFill> fills;
+  std::vector<core::FillSpec> fills;
   bool optimize = false, csv = false, dump_ir = false, dump_asm = false;
   bool hotspots = false, emit_verilog = false;
   int unroll = 1;
@@ -129,18 +134,25 @@ int main(int argc, char** argv) {
       entry = next();
       options.entry = entry;
     } else if (a == "--arg") {
-      args.push_back(std::stoll(next()));
+      args.push_back(ParseIntArg(next(), "--arg"));
     } else if (a == "--set") {
       const std::string spec = next();
       const auto eq = spec.find('=');
       if (eq == std::string::npos) Usage("--set needs NAME=VALUE");
-      sets.push_back({spec.substr(0, eq), std::stoll(spec.substr(eq + 1))});
+      sets.push_back(
+          {spec.substr(0, eq), ParseIntArg(spec.substr(eq + 1), "--set value")});
     } else if (a == "--fill") {
-      fills.push_back(ParseFill(next()));
+      Result<core::FillSpec> fill = core::ParseFillSpec(next());
+      if (!fill.ok()) {
+        for (const Diagnostic& d : fill.diagnostics()) PrintDiagnostic(path, d);
+        Usage("invalid --fill spec");
+      }
+      fills.push_back(std::move(fill.value()));
     } else if (a == "--opt") {
       optimize = true;
     } else if (a == "--unroll") {
-      unroll = std::stoi(next());
+      unroll = static_cast<int>(ParseIntArg(next(), "--unroll"));
+      if (unroll < 1 || unroll > 1024) Usage("--unroll wants a factor in [1, 1024]");
     } else if (a == "--chaining") {
       options.scheduler.enable_chaining = true;
     } else if (a == "--peephole") {
@@ -151,9 +163,10 @@ int main(int argc, char** argv) {
       else if (s == "perf") options.strategy = core::Strategy::kPerformance;
       else Usage("--strategy must be lp or perf");
     } else if (a == "--max-cells") {
-      options.max_cells = std::stod(next());
+      options.max_cells = ParseDoubleArg(next(), "--max-cells");
     } else if (a == "--max-clusters") {
-      options.max_hw_clusters = std::stoi(next());
+      options.max_hw_clusters = static_cast<int>(ParseIntArg(next(), "--max-clusters"));
+      if (options.max_hw_clusters < 1) Usage("--max-clusters wants a positive count");
     } else if (a == "--csv") {
       csv = true;
     } else if (a == "--hotspots") {
@@ -179,8 +192,11 @@ int main(int argc, char** argv) {
   buf << in.rdbuf();
 
   try {
-    dsl::LoweredProgram program =
-        unroll > 1 ? dsl::CompileWithUnroll(buf.str(), unroll) : dsl::Compile(buf.str());
+    Result<dsl::LoweredProgram> compiled = dsl::CompileToResult(buf.str(), unroll);
+    for (const Diagnostic& d : compiled.diagnostics()) PrintDiagnostic(path, d);
+    if (!compiled.ok()) return 1;
+    dsl::LoweredProgram& program = compiled.value();
+
     if (optimize) {
       const opt::PassStats stats = opt::RunStandardPasses(program.module);
       if (!csv) std::printf("optimizer: %s\n", stats.ToString().c_str());
@@ -195,16 +211,22 @@ int main(int argc, char** argv) {
     workload.args = args;
     workload.setup = [&sets, &fills](core::DataTarget& t) {
       for (const ScalarSet& s : sets) t.SetScalar(s.name, s.value);
-      for (const ArrayFill& f : fills) t.FillArray(f.name, f.values);
+      for (const core::FillSpec& f : fills) t.FillArray(f.name, f.values);
     };
 
     core::Partitioner partitioner(program.module, program.regions, options);
     const core::PartitionResult result = partitioner.Run(workload);
     const core::AppRow row = result.ToRow(path);
 
+    // Isolated per-cluster failures: the report below is still valid
+    // (worst case the all-software baseline), but the flow is degraded
+    // and the exit code must say so.
+    for (const Diagnostic& d : result.diagnostics) PrintDiagnostic(path, d);
+    const int exit_code = result.degraded() ? 1 : 0;
+
     if (csv) {
       std::printf("%s", core::ToCsv({row}).c_str());
-      return 0;
+      return exit_code;
     }
 
     if (hotspots) {
@@ -221,9 +243,9 @@ int main(int argc, char** argv) {
         // include_interconnect path).
         const core::Cluster& c =
             result.chain.clusters[static_cast<std::size_t>(d.cluster_id)];
-        const auto sets = options.resource_sets;
+        const auto rsets = options.resource_sets;
         const sched::ResourceSet* rs = nullptr;
-        for (const sched::ResourceSet& set : sets) {
+        for (const sched::ResourceSet& set : rsets) {
           if (set.name == d.core.resource_set) rs = &set;
         }
         if (rs == nullptr) continue;
@@ -254,8 +276,12 @@ int main(int argc, char** argv) {
     std::printf("energy saving %s%%   execution-time change %s%%\n",
                 FormatPercent(row.saving_percent()).c_str(),
                 FormatPercent(row.time_change_percent()).c_str());
+    return exit_code;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
     return 1;
   }
   return 0;
