@@ -63,7 +63,7 @@ int main() {
   fb.EmitRet(Operand::Vreg(r));
 
   m.AssignAddresses();
-  ir::Verify(m);
+  ir::VerifyOrThrow(m);
   std::printf("hand-built IR:\n%s\n", ir::ToString(m).c_str());
 
   // --- infer regions from the CFG ----------------------------------------

@@ -1,0 +1,39 @@
+#pragma once
+
+// Registry of the stable diagnostic codes (Lxxx) emitted by the static
+// analysis stack. One entry per code: class, default severity, a short
+// summary and a fix hint — the catalogue behind `lopass lint
+// --list-codes` and docs/static_analysis.md.
+//
+// Classes:
+//   L1xx  IR structural verification        (ir/verify.cc)
+//   L2xx  IR dataflow lints                 (analysis/dataflow_lint.cc)
+//   L3xx  partition / cluster invariants    (core/partition_check.cc)
+//   L4xx  schedule validation               (sched/validate.cc)
+//   L5xx  netlist / datapath / Verilog      (asic/netlist_check.cc)
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/diag.h"
+
+namespace lopass::analysis {
+
+struct CodeInfo {
+  const char* code;            // "L201"
+  Severity default_severity;   // before -Werror promotion
+  const char* summary;         // one line, what the finding means
+  const char* fix_hint;        // one line, how to address it
+};
+
+// All registered codes, ascending.
+const std::vector<CodeInfo>& AllCodes();
+
+// Lookup; nullptr when unknown.
+const CodeInfo* FindCode(std::string_view code);
+
+// True for "L204" (exact) and for class patterns "L2xx".
+bool CodeMatchesPattern(std::string_view code, std::string_view pattern);
+
+}  // namespace lopass::analysis

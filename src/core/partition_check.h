@@ -1,0 +1,52 @@
+#pragma once
+
+// Partition-invariant checkers (L3xx) — independent re-verification of
+// the cluster decomposition, the gen/use sets behind the bus-traffic
+// model, and the final HW/SW mapping.
+//
+// Each checker recomputes the property it guards with a *different*
+// algorithm than the production code (e.g. an explicit worklist for
+// call closure instead of dataflow.cc's memoized recursion), so a bug
+// in either side surfaces as a mismatch. Run from the partitioner when
+// PartitionOptions::self_check is on and from the `lopass lint`
+// driver. Findings accumulate; the checkers never throw.
+
+#include <string>
+#include <unordered_set>
+
+#include "common/diag.h"
+#include "core/cluster.h"
+#include "core/dataflow.h"
+
+namespace lopass::core {
+
+// Structural invariants of the decomposition (§3.2, Fig. 2b):
+//  - every BlockRef names an existing function/block            (L300)
+//  - chain members occupy ids == chain_pos == 0..len-1; extra
+//    function clusters follow with a valid shadowed position    (L301)
+//  - chain members cover pairwise-disjoint block sets           (L302)
+//  - hw_candidate / contains_calls flags agree with an
+//    independent scan of the cluster's blocks                   (L306)
+bool ValidateClusterChain(const ir::Module& module, const ClusterChain& chain,
+                          DiagnosticSink& sink);
+
+// Re-derives each cluster's gen/use sets with a worklist-based call
+// closure and compares against the analyzer's cached sets (L303).
+bool ValidateGenUse(const ir::Module& module, const ClusterChain& chain,
+                    const BusTrafficAnalyzer& analyzer, DiagnosticSink& sink);
+
+// Bounds of one transfer estimate (Fig. 3 step 5): word counts within
+// the module's total static data (+1 word for a function cluster's
+// return value) and finite, non-negative energy (L304).
+bool ValidateTransfers(const ir::Module& module, const Cluster& cluster,
+                       const Transfers& t, DiagnosticSink& sink);
+
+// The selected HW set maps each chain position at most once — a
+// function cluster and the chain leaf hosting its call site shadow the
+// same position and must not both go to the ASIC — and every id is a
+// real hw_candidate (L305).
+bool ValidateHwSelection(const ClusterChain& chain,
+                         const std::unordered_set<int>& hw_clusters,
+                         DiagnosticSink& sink);
+
+}  // namespace lopass::core

@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "asic/netlist_check.h"
 #include "common/error.h"
 #include "common/fault.h"
 #include "common/logging.h"
+#include "core/partition_check.h"
 #include "interp/interpreter.h"
 #include "isa/codegen.h"
 #include "isa/peephole.h"
 #include "sched/dfg.h"
 #include "sched/list_scheduler.h"
+#include "sched/validate.h"
 
 namespace lopass::core {
 
@@ -160,6 +163,15 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
   BusTrafficAnalyzer traffic(module_, chain, lib_,
                              options_.initial_config.memory_bytes);
 
+  // Self-check: the decomposition and the gen/use sets behind the
+  // traffic model are the foundation every later estimate rests on.
+  if (options_.self_check) {
+    DiagnosticSink sc;
+    ValidateClusterChain(module_, chain, sc);
+    ValidateGenUse(module_, chain, traffic, sc);
+    for (Diagnostic& d : sc.Take()) result.diagnostics.push_back(std::move(d));
+  }
+
   // --- Fig. 1 line 5: pre-selection ------------------------------------
   struct Ranked {
     const Cluster* cluster;
@@ -225,6 +237,26 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
       sb.schedule = &schedules[i];
       sb.ex_times = profile.BlockCount(c.blocks[i].first, c.blocks[i].second);
       sblocks.push_back(sb);
+    }
+    // Self-check: prove each schedule respects precedence and resource
+    // limits, and the transfer estimate its bounds, before any energy
+    // math uses them. A failing candidate is rejected, not synthesized.
+    if (options_.self_check) {
+      DiagnosticSink sc;
+      for (std::size_t i = 0; i < c.blocks.size(); ++i) {
+        sched::ValidateSchedule(dfgs[i], schedules[i], rs, lib_, sc,
+                                options_.scheduler.enable_chaining,
+                                "cluster '" + c.label + "', block " +
+                                    std::to_string(i) + ", set '" + rs.name + "'");
+      }
+      ValidateTransfers(module_, c, ev.transfers, sc);
+      const bool bad = sc.has_errors();
+      for (Diagnostic& d : sc.Take()) result.diagnostics.push_back(std::move(d));
+      if (bad) {
+        ev.feasible = false;
+        ev.reject_reason = "self-check: schedule/transfer validation failed";
+        return ev;
+      }
     }
     ev.util = asic::ComputeUtilization(sblocks, rs, lib_);
     ev.u_asic = options_.weighted_utilization ? WeightedUtilization(ev.util, lib_)
@@ -373,6 +405,15 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
     return result;
   }
 
+  // Self-check: the greedy selection must never map one chain position
+  // twice (a function cluster and the leaf hosting its call site
+  // shadow each other) and only real hardware candidates.
+  if (options_.self_check) {
+    DiagnosticSink sc;
+    ValidateHwSelection(chain, selected_ids, sc);
+    for (Diagnostic& d : sc.Take()) result.diagnostics.push_back(std::move(d));
+  }
+
   // --- Fig. 1 line 14: synthesize the winning cores --------------------
   for (const ClusterEvaluation& ev : kept) {
     try {
@@ -415,6 +456,15 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
         sblocks.push_back(asic::ScheduledBlock{&dfgs[i], &schedules[i], 0});
       }
       const asic::Datapath dp = asic::BuildDatapath(sblocks, ev.util, lib_);
+      if (options_.self_check) {
+        DiagnosticSink sc;
+        asic::ValidateDatapath(sblocks, ev.util, dp, sc,
+                               "cluster '" + ev.cluster_label + "', set '" +
+                                   ev.resource_set + "'");
+        for (Diagnostic& diag : sc.Take()) {
+          result.diagnostics.push_back(std::move(diag));
+        }
+      }
       d.core = asic::Synthesize(ev.cluster_label, ev.resource_set, ev.util, lib_, regs,
                                 asic::SynthesisOptions{}, &dp);
     } else {

@@ -77,6 +77,12 @@ struct PartitionOptions {
   // instead of hanging on a non-terminating workload.
   std::uint64_t max_interp_steps = 500'000'000;
   std::uint64_t max_sim_instrs = 2'000'000'000;
+  // Run the static validators (L3xx partition invariants, L4xx schedule
+  // checks, L5xx datapath checks under include_interconnect) on every
+  // intermediate artifact. Cheap next to simulation; findings land in
+  // PartitionResult::diagnostics as errors (-> degraded()), and a
+  // schedule that fails validation rejects its candidate.
+  bool self_check = true;
 };
 
 // Outcome of evaluating one (cluster, resource set) pair.

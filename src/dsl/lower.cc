@@ -29,10 +29,13 @@ class Lowerer {
         CheckNewGlobal(g->name, g->line);
         const SymbolId id = mod_.AddScalar(g->name);
         if (g->value) mod_.symbol_mutable(id).init = g->value->value;
+        mod_.symbol_mutable(id).decl_line = g->line;
         globals_[g->name] = id;
       } else {
         CheckNewGlobal(g->name, g->line);
-        globals_[g->name] = mod_.AddArray(g->name, g->array_len);
+        const SymbolId id = mod_.AddArray(g->name, g->array_len);
+        mod_.symbol_mutable(id).decl_line = g->line;
+        globals_[g->name] = id;
       }
     }
     // Declare all functions up front (forward references).
@@ -41,7 +44,8 @@ class Lowerer {
         LOPASS_THROW("line " + std::to_string(f.line) + ": duplicate function '" +
                      f.name + "'");
       }
-      mod_.AddFunction(f.name);
+      const ir::FunctionId fid = mod_.AddFunction(f.name);
+      mod_.symbol_mutable(mod_.function(fid).symbol).decl_line = f.line;
     }
     for (const FuncDecl& f : ast.functions) LowerFunction(f);
 
@@ -82,9 +86,11 @@ class Lowerer {
     for (const std::string& p : f.params) {
       if (locals_.count(p)) SemErr(f.line, "duplicate parameter '" + p + "'");
       const SymbolId id = mod_.AddScalar(p, fid);
+      mod_.symbol_mutable(id).decl_line = f.line;
       locals_[p] = id;
       fn.params.push_back(id);
     }
+    fb.SetLine(f.line);
 
     const BlockId entry = fb.NewBlock();
     fb.SetBlock(entry);
@@ -130,10 +136,12 @@ class Lowerer {
 
   void LowerStmt(const Stmt& s) {
     EnsureOpenBlock();
+    if (s.line > 0) fb_->SetLine(s.line);
     switch (s.kind) {
       case Stmt::Kind::kVarDecl: {
         if (locals_.count(s.name)) SemErr(s.line, "redeclaration of '" + s.name + "'");
         const SymbolId id = mod_.AddScalar(s.name, cur_fn_);
+        mod_.symbol_mutable(id).decl_line = s.line;
         locals_[s.name] = id;
         if (s.value) {
           EnsureLeaf();
@@ -143,7 +151,9 @@ class Lowerer {
       }
       case Stmt::Kind::kArrayDecl: {
         if (locals_.count(s.name)) SemErr(s.line, "redeclaration of '" + s.name + "'");
-        locals_[s.name] = mod_.AddArray(s.name, s.array_len, cur_fn_);
+        const SymbolId id = mod_.AddArray(s.name, s.array_len, cur_fn_);
+        mod_.symbol_mutable(id).decl_line = s.line;
+        locals_[s.name] = id;
         break;
       }
       case Stmt::Kind::kAssign: {
@@ -352,10 +362,12 @@ class Lowerer {
 
   // Lowers a for-step simple statement without opening a new leaf.
   void LowerStepOnly(const Stmt& s) {
+    if (s.line > 0) fb_->SetLine(s.line);
     switch (s.kind) {
       case Stmt::Kind::kVarDecl: {
         if (locals_.count(s.name)) SemErr(s.line, "redeclaration of '" + s.name + "'");
         const SymbolId id = mod_.AddScalar(s.name, cur_fn_);
+        mod_.symbol_mutable(id).decl_line = s.line;
         locals_[s.name] = id;
         if (s.value) fb_->EmitWriteVar(id, LowerExpr(*s.value));
         break;
@@ -383,6 +395,7 @@ class Lowerer {
   }
 
   Operand LowerExpr(const Expr& e) {
+    if (e.line > 0) fb_->SetLine(e.line);
     switch (e.kind) {
       case Expr::Kind::kInt:
         return Operand::Imm(e.value);
@@ -502,7 +515,7 @@ LoweredProgram Lower(const Program& ast) {
 
 LoweredProgram Compile(std::string_view source) {
   LoweredProgram p = Lower(Parse(source));
-  ir::Verify(p.module);
+  ir::VerifyOrThrow(p.module);
   return p;
 }
 
@@ -511,7 +524,7 @@ LoweredProgram CompileWithUnroll(std::string_view source, int unroll_factor,
   Program ast = Parse(source);
   UnrollLoops(ast, unroll_factor, max_body_stmts);
   LoweredProgram p = Lower(ast);
-  ir::Verify(p.module);
+  ir::VerifyOrThrow(p.module);
   return p;
 }
 
@@ -564,7 +577,11 @@ Result<LoweredProgram> CompileToResult(std::string_view source, int unroll_facto
   try {
     if (unroll_factor > 1) UnrollLoops(ast, unroll_factor, max_body_stmts);
     LoweredProgram p = Lower(ast);
-    ir::Verify(p.module);
+    // Accumulate every structural violation (L1xx) into the sink instead
+    // of throwing on the first — the driver reports them all in one pass.
+    if (!ir::Verify(p.module, sink)) {
+      return Result<LoweredProgram>::Failure(sink.Take());
+    }
     return Result<LoweredProgram>(std::move(p), sink.Take());
   } catch (const Error& e) {
     sink.Add(SemanticDiagnostic(e.what()));

@@ -153,6 +153,7 @@ VregId FunctionBuilder::Emit(Opcode op, std::vector<Operand> args, SymbolId sym)
   in.op = op;
   in.args = std::move(args);
   in.sym = sym;
+  in.line = line_;
   if (ProducesResult(op)) in.result = NewVreg();
   fn_.block(cur_).instrs.push_back(in);
   return in.result;
@@ -207,6 +208,7 @@ void FunctionBuilder::EmitBr(BlockId target) {
   Instr in;
   in.op = Opcode::kBr;
   in.target0 = target;
+  in.line = line_;
   fn_.block(cur_).instrs.push_back(in);
 }
 
@@ -217,6 +219,7 @@ void FunctionBuilder::EmitCondBr(Operand cond, BlockId if_true, BlockId if_false
   in.args = {cond};
   in.target0 = if_true;
   in.target1 = if_false;
+  in.line = line_;
   fn_.block(cur_).instrs.push_back(in);
 }
 

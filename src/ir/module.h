@@ -42,6 +42,9 @@ struct Symbol {
   // Initial value for scalars (DSL `var g = <const>;`). Arrays start
   // zeroed; workloads populate them through the interpreter/ISS APIs.
   std::int64_t init = 0;
+  // 1-based DSL source line of the declaration (0 = unknown, e.g.
+  // programmatically built modules).
+  int decl_line = 0;
 };
 
 // An operand is either a virtual register or an immediate constant.
@@ -64,6 +67,9 @@ struct Instr {
   SymbolId sym = kNoSymbol;      // variable/array/function symbol, if any
   BlockId target0 = kNoBlock;    // kBr/kCondBr: taken target
   BlockId target1 = kNoBlock;    // kCondBr: fall-through target
+  // 1-based DSL source line the operation was lowered from (0 =
+  // unknown). Diagnostics from IR-level analyses anchor on it.
+  int line = 0;
 };
 
 // A maximal straight-line sequence of operations ending in a terminator.
@@ -149,6 +155,11 @@ class FunctionBuilder {
   void SetBlock(BlockId b) { cur_ = b; }
   BlockId current_block() const { return cur_; }
 
+  // Source line stamped onto subsequently emitted instructions (0 =
+  // unknown). The DSL lowerer keeps this in sync with the AST.
+  void SetLine(int line) { line_ = line; }
+  int current_line() const { return line_; }
+
   VregId NewVreg();
 
   // Generic append; returns the result vreg (or kNoVreg).
@@ -174,6 +185,7 @@ class FunctionBuilder {
   Module& module_;
   Function& fn_;
   BlockId cur_ = kNoBlock;
+  int line_ = 0;
 };
 
 }  // namespace lopass::ir

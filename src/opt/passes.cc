@@ -296,7 +296,7 @@ PassStats RunStandardPasses(ir::Module& module, int max_rounds) {
     total.dce_removed += s.dce_removed;
     if (s.total() == 0) break;
   }
-  ir::Verify(module);
+  ir::VerifyOrThrow(module);
   return total;
 }
 

@@ -1,0 +1,445 @@
+// Whole-pipeline static analysis: the L2xx lint corpus (table-driven
+// over tests/data/lint/), the diagnostic policy (-Wno / -Werror), and
+// the L3xx-L5xx validators against hand-broken chains, schedules and
+// netlists — including the acceptance case that a corrupted schedule
+// is rejected, not silently synthesized.
+
+#include "analysis/manager.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/codes.h"
+#include "asic/datapath.h"
+#include "asic/netlist_check.h"
+#include "asic/synthesis.h"
+#include "asic/utilization.h"
+#include "asic/verilog.h"
+#include "common/diag.h"
+#include "core/cluster.h"
+#include "core/dataflow.h"
+#include "core/partition_check.h"
+#include "dsl/lower.h"
+#include "power/tech_library.h"
+#include "sched/dfg.h"
+#include "sched/list_scheduler.h"
+#include "sched/resource_set.h"
+#include "sched/validate.h"
+
+namespace lopass {
+namespace {
+
+std::string ReadData(const std::string& name) {
+  const std::string path = std::string(LOPASS_TEST_DATA_DIR) + "/lint/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing corpus file " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+analysis::LintReport Lint(const std::string& source,
+                          const analysis::AnalysisManager& manager = {}) {
+  return analysis::LintProgram(source, manager);
+}
+
+bool HasCode(const std::vector<Diagnostic>& diags, const std::string& code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+bool SinkHas(DiagnosticSink& sink, const std::string& code) {
+  return HasCode(sink.diagnostics(), code);
+}
+
+// ---------------------------------------------------------------------
+// L2xx corpus: one reproducer per code, each firing exactly its code
+// with a real source location; each clean twin staying silent.
+
+struct CorpusCase {
+  const char* file;
+  const char* code;
+};
+
+TEST(LintCorpus, EachReproducerFiresExactlyItsCode) {
+  const CorpusCase cases[] = {
+      {"l200_read_never_assigned.lp", "L200"},
+      {"l201_dead_store.lp", "L201"},
+      {"l202_unused_var.lp", "L202"},
+      {"l203_unused_array.lp", "L203"},
+      {"l204_unreachable.lp", "L204"},
+      {"l205_constant_branch.lp", "L205"},
+      {"l206_uncalled_function.lp", "L206"},
+  };
+  for (const CorpusCase& c : cases) {
+    const analysis::LintReport r = Lint(ReadData(c.file));
+    EXPECT_EQ(r.errors, 0u) << c.file;
+    EXPECT_EQ(r.warnings, 1u) << c.file;
+    ASSERT_TRUE(HasCode(r.diagnostics, c.code)) << c.file;
+    for (const Diagnostic& d : r.diagnostics) {
+      if (d.code != c.code) continue;
+      EXPECT_GT(d.loc.line, 0) << c.file << " finding has no location";
+    }
+  }
+}
+
+TEST(LintCorpus, CleanTwinsStayClean) {
+  const char* twins[] = {"l200_clean.lp", "l201_clean.lp", "l202_clean.lp",
+                         "l203_clean.lp", "l204_clean.lp", "l205_clean.lp",
+                         "l206_clean.lp"};
+  for (const char* file : twins) {
+    const analysis::LintReport r = Lint(ReadData(file));
+    EXPECT_EQ(r.errors, 0u) << file;
+    EXPECT_EQ(r.warnings, 0u) << file;
+  }
+}
+
+TEST(LintCorpus, MultiDefectFileReportsEverythingInOnePass) {
+  const analysis::LintReport r = Lint(ReadData("lint_multi.lp"));
+  EXPECT_EQ(r.errors, 0u);
+  for (const char* code : {"L200", "L201", "L202", "L203", "L205", "L206"}) {
+    EXPECT_TRUE(HasCode(r.diagnostics, code)) << code << " missing from single pass";
+  }
+  // Policy sorts findings by source position.
+  for (std::size_t i = 1; i < r.diagnostics.size(); ++i) {
+    EXPECT_LE(r.diagnostics[i - 1].loc.line, r.diagnostics[i].loc.line);
+  }
+}
+
+TEST(LintCorpus, SyntaxErrorSurfacesAsError) {
+  const analysis::LintReport r = Lint("func main( {");
+  EXPECT_GT(r.errors, 0u);
+  EXPECT_FALSE(r.clean());
+}
+
+// ---------------------------------------------------------------------
+// Diagnostic policy: suppression and promotion, exact and by class.
+
+TEST(LintPolicy, DisableByClassSilencesTheCorpus) {
+  analysis::AnalysisManager m;
+  m.Disable("L2xx");
+  const analysis::LintReport r = Lint(ReadData("lint_multi.lp"), m);
+  EXPECT_EQ(r.warnings, 0u);
+  EXPECT_EQ(r.errors, 0u);
+}
+
+TEST(LintPolicy, PromoteAllTurnsWarningsIntoErrors) {
+  analysis::AnalysisManager m;
+  m.PromoteAllWarnings();
+  const analysis::LintReport r = Lint(ReadData("lint_multi.lp"), m);
+  EXPECT_EQ(r.warnings, 0u);
+  EXPECT_EQ(r.errors, 6u);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(LintPolicy, PromoteOneCodeLeavesTheRestWarnings) {
+  analysis::AnalysisManager m;
+  m.Promote("L205");
+  const analysis::LintReport r = Lint(ReadData("lint_multi.lp"), m);
+  EXPECT_EQ(r.errors, 1u);
+  EXPECT_EQ(r.warnings, 5u);
+}
+
+TEST(LintPolicy, CodeRegistryCoversEveryFamily) {
+  for (const char* code : {"L100", "L200", "L300", "L400", "L500"}) {
+    EXPECT_NE(analysis::FindCode(code), nullptr) << code;
+  }
+  EXPECT_TRUE(analysis::CodeMatchesPattern("L204", "L2xx"));
+  EXPECT_FALSE(analysis::CodeMatchesPattern("L304", "L2xx"));
+}
+
+// ---------------------------------------------------------------------
+// L3xx: partition invariants against a hand-corrupted cluster chain.
+
+const char* kLoopProgram = R"(
+  var n;
+  array a[64];
+  var s;
+  func main() {
+    var i;
+    s = 0;
+    for (i = 0; i < n; i = i + 1) {
+      s = s + a[i] * 3;
+    }
+    return s;
+  })";
+
+struct CompiledChain {
+  dsl::LoweredProgram prog;
+  core::ClusterChain chain;
+};
+
+CompiledChain MakeChain() {
+  CompiledChain cc{dsl::Compile(kLoopProgram), {}};
+  cc.chain = core::DecomposeIntoClusters(cc.prog.module, cc.prog.regions, "main");
+  return cc;
+}
+
+int FirstHwCandidate(const core::ClusterChain& chain) {
+  for (const core::Cluster& c : chain.clusters) {
+    if (c.hw_candidate) return c.id;
+  }
+  return -1;
+}
+
+TEST(PartitionCheck, ValidChainPasses) {
+  CompiledChain cc = MakeChain();
+  DiagnosticSink sink;
+  EXPECT_TRUE(core::ValidateClusterChain(cc.prog.module, cc.chain, sink));
+  EXPECT_FALSE(sink.has_errors());
+}
+
+TEST(PartitionCheck, DanglingBlockRefIsL300) {
+  CompiledChain cc = MakeChain();
+  cc.chain.clusters[0].blocks.push_back({ir::FunctionId{0}, ir::BlockId{999}});
+  DiagnosticSink sink;
+  EXPECT_FALSE(core::ValidateClusterChain(cc.prog.module, cc.chain, sink));
+  EXPECT_TRUE(SinkHas(sink, "L300"));
+}
+
+TEST(PartitionCheck, CorruptedClusterIdIsL301) {
+  CompiledChain cc = MakeChain();
+  cc.chain.clusters[0].id = 42;
+  DiagnosticSink sink;
+  EXPECT_FALSE(core::ValidateClusterChain(cc.prog.module, cc.chain, sink));
+  EXPECT_TRUE(SinkHas(sink, "L301"));
+}
+
+TEST(PartitionCheck, OverlappingChainMembersAreL302) {
+  CompiledChain cc = MakeChain();
+  ASSERT_GE(cc.chain.chain_length, 2);
+  // Give chain member 1 a block chain member 0 already covers.
+  ASSERT_FALSE(cc.chain.clusters[0].blocks.empty());
+  cc.chain.clusters[1].blocks.push_back(cc.chain.clusters[0].blocks.front());
+  DiagnosticSink sink;
+  EXPECT_FALSE(core::ValidateClusterChain(cc.prog.module, cc.chain, sink));
+  EXPECT_TRUE(SinkHas(sink, "L302"));
+}
+
+TEST(PartitionCheck, StaleGenUseIsL303) {
+  CompiledChain cc = MakeChain();
+  const int hw = FirstHwCandidate(cc.chain);
+  ASSERT_GE(hw, 0);
+  const core::BusTrafficAnalyzer analyzer(cc.prog.module, cc.chain,
+                                          power::TechLibrary::Cmos6(), 256 * 1024);
+  // The analyzer cached gen/use for the original chain; empty the
+  // cluster so an independent recomputation disagrees.
+  cc.chain.clusters[static_cast<std::size_t>(hw)].blocks.clear();
+  DiagnosticSink sink;
+  EXPECT_FALSE(core::ValidateGenUse(cc.prog.module, cc.chain, analyzer, sink));
+  EXPECT_TRUE(SinkHas(sink, "L303"));
+}
+
+TEST(PartitionCheck, AbsurdTransferEstimateIsL304) {
+  CompiledChain cc = MakeChain();
+  const int hw = FirstHwCandidate(cc.chain);
+  ASSERT_GE(hw, 0);
+  const core::Cluster& c = cc.chain.clusters[static_cast<std::size_t>(hw)];
+  core::Transfers t;
+  t.up_to_mem_words = 1'000'000;  // far beyond the module's static data
+  DiagnosticSink sink;
+  EXPECT_FALSE(core::ValidateTransfers(cc.prog.module, c, t, sink));
+  EXPECT_TRUE(SinkHas(sink, "L304"));
+
+  core::Transfers neg;
+  neg.energy = Energy{-1.0};
+  DiagnosticSink sink2;
+  EXPECT_FALSE(core::ValidateTransfers(cc.prog.module, c, neg, sink2));
+  EXPECT_TRUE(SinkHas(sink2, "L304"));
+}
+
+TEST(PartitionCheck, SelectingANonCandidateIsL305) {
+  CompiledChain cc = MakeChain();
+  int leaf = -1;
+  for (const core::Cluster& c : cc.chain.clusters) {
+    if (!c.hw_candidate) leaf = c.id;
+  }
+  ASSERT_GE(leaf, 0);
+  DiagnosticSink sink;
+  EXPECT_FALSE(core::ValidateHwSelection(cc.chain, {leaf}, sink));
+  EXPECT_TRUE(SinkHas(sink, "L305"));
+}
+
+TEST(PartitionCheck, FlippedCandidateFlagIsL306) {
+  CompiledChain cc = MakeChain();
+  const int hw = FirstHwCandidate(cc.chain);
+  ASSERT_GE(hw, 0);
+  cc.chain.clusters[static_cast<std::size_t>(hw)].hw_candidate = false;
+  DiagnosticSink sink;
+  EXPECT_FALSE(core::ValidateClusterChain(cc.prog.module, cc.chain, sink));
+  EXPECT_TRUE(SinkHas(sink, "L306"));
+}
+
+// ---------------------------------------------------------------------
+// L4xx: schedule validation, including the hand-broken acceptance case.
+
+struct ScheduledFixture {
+  dsl::LoweredProgram prog;
+  sched::BlockDfg dfg;
+  sched::BlockSchedule sched;
+  sched::ResourceSet rs;
+};
+
+// Builds the largest block DFG of kLoopProgram (the loop body: loads,
+// a multiply, adds, stores) and list-schedules it under the first
+// designer set that can implement it.
+ScheduledFixture MakeSchedule() {
+  ScheduledFixture f{dsl::Compile(kLoopProgram), {}, {}, {}};
+  const ir::Function& fn = f.prog.module.function(*f.prog.module.FindFunction("main"));
+  std::size_t best = 0;
+  for (const ir::BasicBlock& b : fn.blocks) {
+    sched::BlockDfg d = sched::BuildBlockDfg(b);
+    if (d.size() > best) {
+      best = d.size();
+      f.dfg = std::move(d);
+    }
+  }
+  EXPECT_GE(f.dfg.size(), 3u);
+  const power::TechLibrary& lib = power::TechLibrary::Cmos6();
+  for (const sched::ResourceSet& rs : sched::DefaultDesignerSets()) {
+    try {
+      f.sched = sched::ListSchedule(f.dfg, rs, lib);
+      f.rs = rs;
+      return f;
+    } catch (const Error&) {
+      continue;
+    }
+  }
+  ADD_FAILURE() << "no designer set schedules the loop body";
+  return f;
+}
+
+TEST(ScheduleCheck, ValidSchedulePasses) {
+  ScheduledFixture f = MakeSchedule();
+  DiagnosticSink sink;
+  EXPECT_TRUE(sched::ValidateSchedule(f.dfg, f.sched, f.rs,
+                                      power::TechLibrary::Cmos6(), sink));
+  EXPECT_FALSE(sink.has_errors());
+}
+
+TEST(ScheduleCheck, HandBrokenScheduleIsRejected) {
+  ScheduledFixture f = MakeSchedule();
+  // Collapse every op onto step 0: precedence (and typically resource
+  // occupancy) must be flagged — the acceptance case for L4xx.
+  sched::BlockSchedule broken = f.sched;
+  for (sched::ScheduledOp& op : broken.ops) op.step = 0;
+  broken.num_steps = 1;
+  DiagnosticSink sink;
+  EXPECT_FALSE(sched::ValidateSchedule(f.dfg, broken, f.rs,
+                                       power::TechLibrary::Cmos6(), sink));
+  EXPECT_TRUE(SinkHas(sink, "L401"));
+}
+
+TEST(ScheduleCheck, MissingOpIsL400) {
+  ScheduledFixture f = MakeSchedule();
+  sched::BlockSchedule broken = f.sched;
+  ASSERT_FALSE(broken.ops.empty());
+  broken.ops.pop_back();
+  DiagnosticSink sink;
+  EXPECT_FALSE(sched::ValidateSchedule(f.dfg, broken, f.rs,
+                                       power::TechLibrary::Cmos6(), sink));
+  EXPECT_TRUE(SinkHas(sink, "L400"));
+}
+
+TEST(ScheduleCheck, WrongMakespanIsL403) {
+  ScheduledFixture f = MakeSchedule();
+  sched::BlockSchedule broken = f.sched;
+  broken.num_steps += 3;
+  DiagnosticSink sink;
+  EXPECT_FALSE(sched::ValidateSchedule(f.dfg, broken, f.rs,
+                                       power::TechLibrary::Cmos6(), sink));
+  EXPECT_TRUE(SinkHas(sink, "L403"));
+}
+
+TEST(ScheduleCheck, ForgedResourceTypeIsL404) {
+  ScheduledFixture f = MakeSchedule();
+  sched::BlockSchedule broken = f.sched;
+  // Claim an absurd latency for the first op; the library spec check
+  // must catch the forgery.
+  ASSERT_FALSE(broken.ops.empty());
+  broken.ops.front().latency = 99;
+  DiagnosticSink sink;
+  EXPECT_FALSE(sched::ValidateSchedule(f.dfg, broken, f.rs,
+                                       power::TechLibrary::Cmos6(), sink));
+  EXPECT_TRUE(SinkHas(sink, "L404"));
+}
+
+// ---------------------------------------------------------------------
+// L5xx: structural netlist lint on a real datapath, then on sabotage.
+
+struct NetlistFixture {
+  ScheduledFixture sf;
+  std::vector<asic::ScheduledBlock> blocks;
+  asic::UtilizationResult util;
+  asic::Datapath dp;
+};
+
+NetlistFixture MakeNetlist() {
+  NetlistFixture n{MakeSchedule(), {}, {}, {}};
+  n.blocks.push_back(asic::ScheduledBlock{&n.sf.dfg, &n.sf.sched, 1});
+  const power::TechLibrary& lib = power::TechLibrary::Cmos6();
+  n.util = asic::ComputeUtilization(n.blocks, n.sf.rs, lib);
+  n.dp = asic::BuildDatapath(n.blocks, n.util, lib);
+  return n;
+}
+
+TEST(NetlistCheck, ValidDatapathPasses) {
+  NetlistFixture n = MakeNetlist();
+  DiagnosticSink sink;
+  EXPECT_TRUE(asic::ValidateDatapath(n.blocks, n.util, n.dp, sink));
+  EXPECT_FALSE(sink.has_errors());
+}
+
+TEST(NetlistCheck, DuplicateUnitIsL502) {
+  NetlistFixture n = MakeNetlist();
+  ASSERT_FALSE(n.dp.units.empty());
+  n.dp.units.push_back(n.dp.units.front());
+  DiagnosticSink sink;
+  EXPECT_FALSE(asic::ValidateDatapath(n.blocks, n.util, n.dp, sink));
+  EXPECT_TRUE(SinkHas(sink, "L502"));
+}
+
+TEST(NetlistCheck, MissingUnitIsL503) {
+  NetlistFixture n = MakeNetlist();
+  ASSERT_FALSE(n.dp.units.empty());
+  n.dp.units.pop_back();
+  DiagnosticSink sink;
+  EXPECT_FALSE(asic::ValidateDatapath(n.blocks, n.util, n.dp, sink));
+  EXPECT_TRUE(SinkHas(sink, "L503"));
+}
+
+TEST(NetlistCheck, WrongFsmStateCountIsL505) {
+  NetlistFixture n = MakeNetlist();
+  n.dp.fsm_states += 2;
+  DiagnosticSink sink;
+  EXPECT_FALSE(asic::ValidateDatapath(n.blocks, n.util, n.dp, sink));
+  EXPECT_TRUE(SinkHas(sink, "L505"));
+}
+
+TEST(NetlistCheck, ValidVerilogPassesAndTamperedWidthIsL501) {
+  NetlistFixture n = MakeNetlist();
+  const power::TechLibrary& lib = power::TechLibrary::Cmos6();
+  const asic::AsicCore core =
+      asic::Synthesize("loop", n.sf.rs.name, n.util, lib, 8,
+                       asic::SynthesisOptions{}, &n.dp);
+  const std::string verilog = asic::EmitVerilog(core, n.dp);
+
+  DiagnosticSink ok;
+  EXPECT_TRUE(asic::ValidateVerilog(verilog, n.dp, 32, ok));
+
+  std::string tampered = verilog;
+  const std::size_t pos = tampered.find("[31:0]");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 6, "[30:0]");
+  DiagnosticSink bad;
+  EXPECT_FALSE(asic::ValidateVerilog(tampered, n.dp, 32, bad));
+  EXPECT_TRUE(SinkHas(bad, "L501"));
+}
+
+}  // namespace
+}  // namespace lopass

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "common/diag.h"
 #include "common/error.h"
 #include "ir/module.h"
 #include "ir/print.h"
@@ -8,6 +12,19 @@
 
 namespace lopass::ir {
 namespace {
+
+// Runs the verifier and returns the codes it reported (in order).
+std::vector<std::string> VerifyCodes(const Module& m) {
+  DiagnosticSink sink;
+  Verify(m, sink);
+  std::vector<std::string> codes;
+  for (const Diagnostic& d : sink.diagnostics()) codes.push_back(d.code);
+  return codes;
+}
+
+bool HasCode(const std::vector<std::string>& codes, const std::string& want) {
+  return std::find(codes.begin(), codes.end(), want) != codes.end();
+}
 
 Module MakeMinimalModule() {
   Module m;
@@ -82,12 +99,16 @@ TEST(IrModule, BlockSuccessors) {
 
 TEST(IrVerify, AcceptsMinimalModule) {
   const Module m = MakeMinimalModule();
-  EXPECT_NO_THROW(Verify(m));
+  DiagnosticSink sink;
+  EXPECT_TRUE(Verify(m, sink));
+  EXPECT_FALSE(sink.has_errors());
+  EXPECT_NO_THROW(VerifyOrThrow(m));
 }
 
 TEST(IrVerify, RejectsEmptyModule) {
   Module m;
-  EXPECT_THROW(Verify(m), Error);
+  EXPECT_TRUE(HasCode(VerifyCodes(m), "L100"));
+  EXPECT_THROW(VerifyOrThrow(m), Error);
 }
 
 TEST(IrVerify, RejectsMissingTerminator) {
@@ -97,7 +118,7 @@ TEST(IrVerify, RejectsMissingTerminator) {
   const BlockId b = fb.NewBlock();
   fb.SetBlock(b);
   fb.EmitConst(1);  // no terminator
-  EXPECT_THROW(Verify(m), Error);
+  EXPECT_TRUE(HasCode(VerifyCodes(m), "L102"));
 }
 
 TEST(IrVerify, RejectsUseBeforeDef) {
@@ -116,7 +137,7 @@ TEST(IrVerify, RejectsUseBeforeDef) {
   ret.op = Opcode::kRet;
   m.function(f).block(b).instrs.push_back(ret);
   m.function(f).next_vreg = 10;
-  EXPECT_THROW(Verify(m), Error);
+  EXPECT_TRUE(HasCode(VerifyCodes(m), "L106"));
 }
 
 TEST(IrVerify, RejectsBranchOutOfRange) {
@@ -129,7 +150,7 @@ TEST(IrVerify, RejectsBranchOutOfRange) {
   br.op = Opcode::kBr;
   br.target0 = 99;
   m.function(f).block(b).instrs.push_back(br);
-  EXPECT_THROW(Verify(m), Error);
+  EXPECT_TRUE(HasCode(VerifyCodes(m), "L107"));
 }
 
 TEST(IrVerify, RejectsCallArityMismatch) {
@@ -150,7 +171,59 @@ TEST(IrVerify, RejectsCallArityMismatch) {
     fb.EmitCall(m.function(callee).symbol, {});  // 0 args vs 1 param
     fb.EmitRet();
   }
-  EXPECT_THROW(Verify(m), Error);
+  EXPECT_TRUE(HasCode(VerifyCodes(m), "L111"));
+}
+
+// One pass over a module with several independent defects reports each
+// of them — the verifier no longer stops at the first violation.
+TEST(IrVerify, AccumulatesMultipleFindings) {
+  Module m;
+  const FunctionId f = m.AddFunction("f");
+  FunctionBuilder fb(m, f);
+  const BlockId b0 = fb.NewBlock();
+  const BlockId b1 = fb.NewBlock();
+  fb.SetBlock(b0);
+  Instr use;  // use-before-def (L106)
+  use.op = Opcode::kMov;
+  use.result = 7;
+  use.args = {Operand::Vreg(3)};
+  m.function(f).block(b0).instrs.push_back(use);
+  Instr br;  // branch out of range (L107)
+  br.op = Opcode::kBr;
+  br.target0 = 42;
+  m.function(f).block(b0).instrs.push_back(br);
+  // b1 left without a terminator (L102).
+  (void)b1;
+  m.function(f).next_vreg = 10;
+
+  const auto codes = VerifyCodes(m);
+  EXPECT_TRUE(HasCode(codes, "L106"));
+  EXPECT_TRUE(HasCode(codes, "L107"));
+  EXPECT_TRUE(HasCode(codes, "L102"));
+}
+
+// A corrupt symbol id used to trip an internal check mid-verify; it is
+// now an ordinary finding so later references are still examined.
+TEST(IrVerify, ReportsCorruptSymbolIdsAsFindings) {
+  Module m;
+  const FunctionId f = m.AddFunction("f");
+  FunctionBuilder fb(m, f);
+  const BlockId b = fb.NewBlock();
+  fb.SetBlock(b);
+  Instr rd;
+  rd.op = Opcode::kReadVar;
+  rd.result = 0;
+  rd.sym = 999;  // out of range
+  m.function(f).block(b).instrs.push_back(rd);
+  Instr br;  // also out of range: both must be reported
+  br.op = Opcode::kBr;
+  br.target0 = 5;
+  m.function(f).block(b).instrs.push_back(br);
+  m.function(f).next_vreg = 1;
+
+  const auto codes = VerifyCodes(m);
+  EXPECT_TRUE(HasCode(codes, "L108"));
+  EXPECT_TRUE(HasCode(codes, "L107"));
 }
 
 TEST(IrPrint, ContainsSymbolsAndOpcodes) {

@@ -125,7 +125,7 @@ TEST(Lower, StatementsAfterReturnAreUnreachableButValid) {
 
 TEST(Lower, MissingReturnGetsImplicitOne) {
   const LoweredProgram p = Compile("func main() { var x; x = 1; }");
-  EXPECT_NO_THROW(ir::Verify(p.module));
+  EXPECT_NO_THROW(ir::VerifyOrThrow(p.module));
 }
 
 TEST(Lower, LocalShadowsGlobal) {

@@ -14,6 +14,18 @@
 //   2  a usage error (unknown option, malformed value, missing operand)
 //
 // Usage:
+//   lopass_cli lint FILE.lp [options]
+//     --entry NAME            entry function (default: main)
+//     --unroll K              unroll eligible for-loops K times
+//     --app NAME              lint a bundled application instead of a file
+//     --list-codes            print the L-code registry and exit
+//     --no-partition-checks   frontend + IR lints only (L1xx/L2xx)
+//     -Wno-CODE               suppress a code or class (e.g. -Wno-L2xx)
+//     -Werror[=CODE]          promote warnings (all, or one code/class)
+//   Runs the whole-pipeline static analysis (docs/static_analysis.md):
+//   IR verification, dataflow lints, partition/schedule/netlist
+//   validators. Exit 0 clean (warnings allowed), 1 errors, 2 usage.
+//
 //   lopass_cli FILE.lp [options]
 //     --entry NAME            entry function (default: main)
 //     --arg VALUE             append an entry-function argument
@@ -45,6 +57,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/codes.h"
+#include "analysis/manager.h"
+#include "apps/app.h"
 #include "asic/verilog.h"
 #include "common/diag.h"
 #include "core/hotspots.h"
@@ -71,6 +86,9 @@ struct ScalarSet {
                "       [--fill N=rand:CNT:LO:HI[:SEED] | N=ramp:CNT[:STEP]]\n"
                "       [--opt] [--chaining] [--strategy lp|perf] [--max-cells N]\n"
                "       [--max-clusters N] [--csv] [--dump-ir] [--dump-asm]\n"
+               "   or: lopass_cli lint FILE.lp [--entry NAME] [--unroll K]\n"
+               "       [--app NAME] [--list-codes] [--no-partition-checks]\n"
+               "       [-Wno-CODE] [-Werror[=CODE]]\n"
                "exit codes: 0 ok, 1 pipeline error, 2 usage error\n");
   std::exit(2);
 }
@@ -98,14 +116,103 @@ double ParseDoubleArg(const std::string& value, const char* what) {
   }
 }
 
-// FILE:line:col: severity: message (line omitted when unknown).
+// FILE:line:col: severity: message [code] (line omitted when unknown,
+// code when empty).
 void PrintDiagnostic(const std::string& path, const Diagnostic& d) {
+  const std::string tag = d.code.empty() ? "" : " [" + d.code + "]";
   if (d.loc.valid()) {
-    std::fprintf(stderr, "%s:%d:%d: %s: %s\n", path.c_str(), d.loc.line, d.loc.col,
-                 SeverityName(d.severity), d.message.c_str());
+    std::fprintf(stderr, "%s:%d:%d: %s: %s%s\n", path.c_str(), d.loc.line, d.loc.col,
+                 SeverityName(d.severity), d.message.c_str(), tag.c_str());
   } else {
-    std::fprintf(stderr, "%s: %s: %s\n", path.c_str(), SeverityName(d.severity),
-                 d.message.c_str());
+    std::fprintf(stderr, "%s: %s: %s%s\n", path.c_str(), SeverityName(d.severity),
+                 d.message.c_str(), tag.c_str());
+  }
+}
+
+// `lopass_cli lint` — the whole-pipeline static analysis driver.
+// argv is shifted so argv[0] is the verb itself.
+int RunLint(int argc, char** argv) {
+  std::string path;
+  std::string app_name;
+  analysis::AnalysisManager manager;
+  analysis::LintOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--entry") {
+      options.entry = next();
+    } else if (a == "--unroll") {
+      const std::int64_t k = ParseIntArg(next(), "--unroll");
+      if (k < 1 || k > 1024) Usage("--unroll wants a factor in [1, 1024]");
+      options.unroll = static_cast<int>(k);
+    } else if (a == "--app") {
+      app_name = next();
+    } else if (a == "--no-partition-checks") {
+      options.partition_checks = false;
+    } else if (a == "--list-codes") {
+      for (const analysis::CodeInfo& c : analysis::AllCodes()) {
+        std::printf("%s  %-7s  %s\n", c.code,
+                    c.default_severity == Severity::kWarning ? "warning" : "error",
+                    c.summary);
+      }
+      return 0;
+    } else if (a.rfind("-Wno-", 0) == 0) {
+      const std::string code = a.substr(5);
+      if (code.empty()) Usage("-Wno- needs a code (e.g. -Wno-L204, -Wno-L2xx)");
+      manager.Disable(code);
+    } else if (a == "-Werror") {
+      manager.PromoteAllWarnings();
+    } else if (a.rfind("-Werror=", 0) == 0) {
+      const std::string code = a.substr(8);
+      if (code.empty()) Usage("-Werror= needs a code");
+      manager.Promote(code);
+    } else if (!a.empty() && a[0] == '-') {
+      Usage(("unknown lint option " + a).c_str());
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      Usage(("unexpected operand " + a).c_str());
+    }
+  }
+  if (path.empty() == app_name.empty()) {
+    Usage("lint wants exactly one of FILE.lp or --app NAME");
+  }
+
+  std::string source;
+  std::string display = path;
+  if (!app_name.empty()) {
+    try {
+      const apps::Application app = apps::GetApplication(app_name);
+      source = app.dsl_source;
+      options.entry = app.options.entry;
+      display = "app:" + app.name;
+    } catch (const Error& e) {
+      Usage(e.what());
+    }
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+  }
+
+  try {
+    const analysis::LintReport report = analysis::LintProgram(source, manager, options);
+    for (const Diagnostic& d : report.diagnostics) PrintDiagnostic(display, d);
+    std::fprintf(stderr, "%s: %zu error(s), %zu warning(s)\n", display.c_str(),
+                 report.errors, report.warnings);
+    return report.clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 1;
   }
 }
 
@@ -113,6 +220,7 @@ void PrintDiagnostic(const std::string& path, const Diagnostic& d) {
 
 int main(int argc, char** argv) {
   if (argc < 2) Usage();
+  if (std::strcmp(argv[1], "lint") == 0) return RunLint(argc - 1, argv + 1);
   const std::string path = argv[1];
 
   std::string entry = "main";
