@@ -46,6 +46,9 @@ const std::vector<CodeInfo>& AllCodes() {
        "the branch always goes one way; simplify the condition or drop the if"},
       {"L206", Severity::kWarning, "function is never called",
        "remove the function or call it from the entry"},
+      {"L207", Severity::kWarning, "constant array index out of bounds",
+       "a compile-time-constant index must satisfy 0 <= index < length; the "
+       "interpreter would fault on it at run time"},
 
       // --- L3xx: partition / cluster invariants ---------------------
       {"L300", Severity::kError, "cluster references a nonexistent block",

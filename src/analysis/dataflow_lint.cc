@@ -1,10 +1,13 @@
 #include "analysis/dataflow_lint.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#include "common/units.h"
 
 namespace lopass::analysis {
 
@@ -183,23 +186,98 @@ void LintReachability(const ir::Function& f, DiagnosticSink& sink) {
   }
 }
 
-// --- L205: constant branch conditions ----------------------------------
+// --- L205 / L207: per-block constant propagation -----------------------
+//
+// One forward walk per block tracks which vregs hold compile-time
+// constants — and, where the arithmetic folds, their concrete values
+// (mirroring the interpreter's wrapping semantics so the proof matches
+// what would actually execute). Const-ness feeds the constant-branch
+// lint (L205); concrete values feed the array-bounds proof (L207).
 
-void LintConstantBranches(const ir::Function& f, DiagnosticSink& sink) {
+// Folds a pure op whose inputs are all known. Returns nullopt when the
+// value cannot be determined (e.g. division by zero — constant, but the
+// "value" is a runtime error).
+std::optional<std::int64_t> FoldPure(
+    Opcode op, const std::vector<std::optional<std::int64_t>>& vals) {
+  for (const auto& v : vals) {
+    if (!v.has_value()) return std::nullopt;
+  }
+  switch (op) {
+    case Opcode::kConst:
+    case Opcode::kMov:
+      return vals[0];
+    case Opcode::kNeg:
+      return WrapNeg(*vals[0]);
+    case Opcode::kNot:
+      return ~*vals[0];
+    default:
+      break;
+  }
+  if (vals.size() != 2) return std::nullopt;
+  const std::int64_t a = *vals[0];
+  const std::int64_t b = *vals[1];
+  switch (op) {
+    case Opcode::kAdd: return WrapAdd(a, b);
+    case Opcode::kSub: return WrapSub(a, b);
+    case Opcode::kMul: return WrapMul(a, b);
+    case Opcode::kDiv: return b == 0 ? std::nullopt : std::optional<std::int64_t>(a / b);
+    case Opcode::kMod: return b == 0 ? std::nullopt : std::optional<std::int64_t>(a % b);
+    case Opcode::kAnd: return a & b;
+    case Opcode::kOr: return a | b;
+    case Opcode::kXor: return a ^ b;
+    case Opcode::kShl: return WrapShl(a, b);
+    case Opcode::kShr:
+      return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) >> (b & 63));
+    case Opcode::kSar: return a >> (b & 63);
+    case Opcode::kMin: return std::min(a, b);
+    case Opcode::kMax: return std::max(a, b);
+    case Opcode::kCmpEq: return static_cast<std::int64_t>(a == b);
+    case Opcode::kCmpNe: return static_cast<std::int64_t>(a != b);
+    case Opcode::kCmpLt: return static_cast<std::int64_t>(a < b);
+    case Opcode::kCmpLe: return static_cast<std::int64_t>(a <= b);
+    case Opcode::kCmpGt: return static_cast<std::int64_t>(a > b);
+    case Opcode::kCmpGe: return static_cast<std::int64_t>(a >= b);
+    default: return std::nullopt;
+  }
+}
+
+void LintBlockConstants(const ir::Module& m, const ir::Function& f,
+                        DiagnosticSink& sink) {
   for (const ir::BasicBlock& b : f.blocks) {
-    // Vregs whose value is a compile-time constant within this block.
-    std::unordered_set<ir::VregId> const_vregs;
+    // Vregs that are compile-time constants within this block; the
+    // mapped value is the folded constant where determinable.
+    std::unordered_map<ir::VregId, std::optional<std::int64_t>> consts;
+    auto is_known = [&](const ir::Operand& a) {
+      return a.is_imm() || (a.is_vreg() && consts.count(a.vreg));
+    };
+    auto value_of = [&](const ir::Operand& a) -> std::optional<std::int64_t> {
+      if (a.is_imm()) return a.imm;
+      if (a.is_vreg()) {
+        const auto it = consts.find(a.vreg);
+        if (it != consts.end()) return it->second;
+      }
+      return std::nullopt;
+    };
     for (const ir::Instr& in : b.instrs) {
-      const bool inputs_const = std::all_of(
-          in.args.begin(), in.args.end(), [&](const ir::Operand& a) {
-            return a.is_imm() || (a.is_vreg() && const_vregs.count(a.vreg));
-          });
+      // L207: a constant array index must stay inside the declared
+      // length (the interpreter would fault; the schedulers and the
+      // bus-traffic model would silently mis-estimate).
+      if ((in.op == Opcode::kLoadElem || in.op == Opcode::kStoreElem) &&
+          !in.args.empty() && in.sym != ir::kNoSymbol) {
+        const std::optional<std::int64_t> idx = value_of(in.args[0]);
+        const ir::Symbol& s = m.symbol(in.sym);
+        if (idx.has_value() && s.kind == ir::SymbolKind::kArray &&
+            (*idx < 0 || *idx >= static_cast<std::int64_t>(s.length))) {
+          std::ostringstream os;
+          os << "constant index " << *idx << " is out of bounds for array '"
+             << s.name << "' of length " << s.length;
+          sink.AddWarning("L207", os.str(), LocOf(in.line));
+        }
+        continue;
+      }
       if (in.op == Opcode::kCondBr) {
         if (in.args.empty()) continue;  // L104 territory
-        const ir::Operand& cond = in.args[0];
-        const bool is_const =
-            cond.is_imm() || (cond.is_vreg() && const_vregs.count(cond.vreg));
-        if (is_const) {
+        if (is_known(in.args[0])) {
           std::ostringstream os;
           os << "branch condition in function '" << f.name
              << "' is constant — the branch always goes the same way";
@@ -211,7 +289,14 @@ void LintConstantBranches(const ir::Function& f, DiagnosticSink& sink) {
       const bool pure = in.op == Opcode::kConst || in.op == Opcode::kMov ||
                         in.op == Opcode::kNeg || in.op == Opcode::kNot ||
                         ir::IsBinaryArith(in.op) || ir::IsComparison(in.op);
-      if (pure && inputs_const) const_vregs.insert(in.result);
+      const bool inputs_const =
+          std::all_of(in.args.begin(), in.args.end(), is_known);
+      if (pure && inputs_const) {
+        std::vector<std::optional<std::int64_t>> vals;
+        vals.reserve(in.args.size());
+        for (const ir::Operand& a : in.args) vals.push_back(value_of(a));
+        consts[in.result] = FoldPure(in.op, vals);
+      }
     }
   }
 }
@@ -322,7 +407,7 @@ void RunDataflowLints(const ir::Module& module, DiagnosticSink& sink,
   UseClosure closures(module);
   for (const ir::Function& f : module.functions()) {
     LintReachability(f, sink);
-    LintConstantBranches(f, sink);
+    LintBlockConstants(module, f, sink);
     LintDeadStores(module, f, closures, sink);
   }
 }

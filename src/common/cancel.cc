@@ -1,0 +1,12 @@
+#include "common/cancel.h"
+
+namespace lopass {
+
+void CancelToken::Check(const char* where) const {
+  if (!cancelled()) return;
+  const bool flagged = cancelled_.load(std::memory_order_relaxed);
+  throw CancelledError(std::string(flagged ? "cancelled" : "deadline exceeded") +
+                       " in " + where);
+}
+
+}  // namespace lopass

@@ -77,6 +77,21 @@ bool Enabled() {
   return g_enabled.load(std::memory_order_acquire);
 }
 
+std::string CurrentSpec() {
+  EnsureEnvLoaded();
+  State& st = GetState();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.spec;
+}
+
+bool IsTransient(const std::exception& e) {
+  return dynamic_cast<const InjectedFault*>(&e) != nullptr;
+}
+
+bool IsTransientMessage(const std::string& message) {
+  return message.find("injected fault at site") != std::string::npos;
+}
+
 void MaybeInject(const char* site) {
   EnsureEnvLoaded();
   if (!g_enabled.load(std::memory_order_acquire)) return;

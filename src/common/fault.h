@@ -21,6 +21,7 @@
 // With no spec installed MaybeInject is a single relaxed atomic load.
 
 #include <cstdint>
+#include <exception>
 #include <string>
 
 #include "common/error.h"
@@ -40,6 +41,23 @@ namespace fault {
 
 // True if any site is armed (cheap; callers need not pre-check).
 bool Enabled();
+
+// The currently installed spec ("" when nothing is armed). Drivers
+// record it next to their results so any failure report names the
+// exact injection schedule that produced it.
+std::string CurrentSpec();
+
+// Transient-fault classification for retry policies. An InjectedFault
+// models the transient class (a glitch that may not recur on retry);
+// a CancelledError (deadline) or any other Error is permanent — the
+// same input would fail the same way, so retrying wastes the budget.
+bool IsTransient(const std::exception& e);
+
+// Message-level variant for failures that were already flattened into
+// a Diagnostic by an isolation layer (the partitioner stringifies the
+// exception it caught). Matches the stable "injected fault at site"
+// marker MaybeInject puts into every InjectedFault message.
+bool IsTransientMessage(const std::string& message);
 
 // Throws InjectedFault if `site` is armed for this hit. Every call
 // increments the site's hit counter, armed or not.

@@ -1,6 +1,7 @@
 #include "core/partitioner.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_set>
 
 #include "asic/netlist_check.h"
@@ -120,11 +121,32 @@ Partitioner::Partitioner(const ir::Module& module, const ir::RegionTree& regions
 PartitionResult Partitioner::Run(const Workload& workload) const {
   PartitionResult result;
 
+  // Reproducibility header: the first diagnostic of every run names the
+  // PRNG seed and the live fault-injection spec, so a failure report
+  // carries everything needed to replay it.
+  {
+    char seed_hex[32];
+    std::snprintf(seed_hex, sizeof(seed_hex), "0x%llx",
+                  static_cast<unsigned long long>(options_.prng_seed));
+    const std::string spec = fault::CurrentSpec();
+    result.diagnostics.push_back(Diagnostic{
+        Severity::kNote, "run.context", SourceLoc{},
+        std::string("run context: prng seed ") + seed_hex + ", fault spec '" +
+            spec + "'"});
+  }
+  CheckCancel(options_.cancel, "partitioner (startup)");
+
+  // Scheduler options with the run's cancel token threaded through, so
+  // a deadline also interrupts a long list schedule mid-cluster.
+  sched::SchedulerOptions sched_opts = options_.scheduler;
+  if (options_.cancel != nullptr) sched_opts.cancel = options_.cancel;
+
   // --- Fig. 1 line 1: the graph is the IR; build the SL32 program. ----
   isa::SlProgram program = isa::Generate(module_);
   if (options_.peephole) isa::Peephole(program);
 
   // --- profiling (#ex_times, Fig. 4 footnote 14) -----------------------
+  CheckCancel(options_.cancel, "partitioner (profiling)");
   interp::Interpreter profiler(module_);
   if (workload.setup) {
     InterpTarget t(profiler);
@@ -134,6 +156,7 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
   const interp::Profile& profile = profiler.profile();
 
   // --- initial whole-system simulation ---------------------------------
+  CheckCancel(options_.cancel, "partitioner (initial simulation)");
   iss::Simulator sim(module_, program, options_.initial_config, lib_, up_model_);
   if (workload.setup) {
     SimTarget t(sim);
@@ -148,6 +171,8 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
   // baseline is still a valid answer — record the failure and return it.
   try {
     result.chain = DecomposeIntoClusters(module_, regions_, options_.entry);
+  } catch (const CancelledError&) {
+    throw;  // deadlines abort the whole run, not one stage
   } catch (const Error& e) {
     result.diagnostics.push_back(
         Diagnostic{Severity::kError, "partition.cluster",
@@ -222,10 +247,12 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
       for (const auto& [fn, b] : c.blocks) {
         dfgs.push_back(sched::BuildBlockDfg(module_.function(fn).block(b)));
         schedules.push_back(
-            sched::ListSchedule(dfgs.back(), rs, lib_, options_.scheduler));
+            sched::ListSchedule(dfgs.back(), rs, lib_, sched_opts));
       }
     } catch (const InjectedFault&) {
       throw;  // injected faults must reach the per-cluster isolation layer
+    } catch (const CancelledError&) {
+      throw;  // deadlines abort the whole run
     } catch (const Error& e) {
       ev.feasible = false;
       ev.reject_reason = e.what();
@@ -359,8 +386,12 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
         // (rather than reporting infeasibility) is recorded and
         // skipped; the flow continues with the remaining candidates
         // and, worst case, falls back to the all-software baseline.
+        CheckCancel(options_.cancel, "partitioner (candidate evaluation)");
         try {
           ev = evaluate(c, rs, selected_ids, up_removed, asic_added, geq_added);
+        } catch (const CancelledError&) {
+          throw;  // a fired deadline would cancel every remaining
+                  // candidate too — abort instead of flooding diagnostics
         } catch (const Error& e) {
           ev.cluster_id = c.id;
           ev.cluster_label = c.label;
@@ -416,6 +447,7 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
 
   // --- Fig. 1 line 14: synthesize the winning cores --------------------
   for (const ClusterEvaluation& ev : kept) {
+    CheckCancel(options_.cancel, "partitioner (synthesis)");
     try {
     PartitionDecision d;
     d.cluster_id = ev.cluster_id;
@@ -450,7 +482,7 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
       for (const auto& [fn, b] : c.blocks) {
         dfgs.push_back(sched::BuildBlockDfg(module_.function(fn).block(b)));
         schedules.push_back(
-            sched::ListSchedule(dfgs.back(), *rs, lib_, options_.scheduler));
+            sched::ListSchedule(dfgs.back(), *rs, lib_, sched_opts));
       }
       for (std::size_t i = 0; i < c.blocks.size(); ++i) {
         sblocks.push_back(asic::ScheduledBlock{&dfgs[i], &schedules[i], 0});
@@ -473,6 +505,8 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
     result.asic_cycles += d.core.cycles;
     result.asic_energy += d.core.refined_energy;
     result.selected.push_back(std::move(d));
+    } catch (const CancelledError&) {
+      throw;
     } catch (const Error& e) {
       // Isolation: a core that fails to synthesize is dropped — its
       // cluster simply stays in software.
@@ -518,9 +552,12 @@ PartitionResult Partitioner::Run(const Workload& workload) const {
     SimTarget t(part_sim);
     workload.setup(t);
   }
+  CheckCancel(options_.cancel, "partitioner (partitioned re-simulation)");
   try {
     result.partitioned_run =
         part_sim.Run(workload.entry, workload.args, partition, options_.max_sim_instrs);
+  } catch (const CancelledError&) {
+    throw;
   } catch (const Error& e) {
     // Isolation: if the partitioned re-simulation fails, fall back to
     // the (already validated) all-software result rather than crash.

@@ -22,6 +22,7 @@
 
 #include "asic/synthesis.h"
 #include "asic/utilization.h"
+#include "common/cancel.h"
 #include "common/diag.h"
 #include "core/cluster.h"
 #include "core/dataflow.h"
@@ -83,6 +84,20 @@ struct PartitionOptions {
   // PartitionResult::diagnostics as errors (-> degraded()), and a
   // schedule that fails validation rejects its candidate.
   bool self_check = true;
+  // Reproducibility header: the PRNG seed the workload/driver used
+  // (defaults to lopass::Prng's default seed). Recorded — together
+  // with the live LOPASS_FAULT_INJECT spec — as the leading note
+  // diagnostic of every PartitionResult, so any failure report is
+  // reproducible from its own text.
+  std::uint64_t prng_seed = 0x9e3779b97f4a7c15ull;
+  // Cooperative cancellation / per-job deadline (see common/cancel.h).
+  // Polled between stages, before every candidate evaluation, and
+  // inside the schedulers. A fired token aborts Run() with
+  // CancelledError — deliberately NOT absorbed by the per-cluster
+  // isolation layers, since a deadline hit mid-candidate would
+  // otherwise cancel every remaining candidate one diagnostic at a
+  // time. Null = not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 // Outcome of evaluating one (cluster, resource set) pair.
@@ -150,7 +165,9 @@ class Partitioner {
               const power::TechLibrary& lib = power::TechLibrary::Cmos6(),
               const iss::TiwariModel& up_model = iss::TiwariModel::Sparclite());
 
-  // Runs the full flow of Fig. 5 on the given workload.
+  // Runs the full flow of Fig. 5 on the given workload. Throws
+  // CancelledError if options().cancel fires mid-flow; every other
+  // per-candidate failure is isolated into the result's diagnostics.
   PartitionResult Run(const Workload& workload) const;
 
   const PartitionOptions& options() const { return options_; }

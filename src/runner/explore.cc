@@ -1,0 +1,430 @@
+#include "runner/explore.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "apps/app.h"
+#include "common/cancel.h"
+#include "common/error.h"
+#include "common/fault.h"
+#include "common/prng.h"
+#include "core/partitioner.h"
+#include "dsl/lower.h"
+#include "runner/journal.h"
+
+namespace lopass::runner {
+namespace {
+
+std::uint64_t Fnv1a(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string SeedHex(std::uint64_t seed) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+// %.17g round-trips every IEEE double through strtod exactly, so a
+// value replayed from the journal renders identically to the live one.
+std::string DoubleField(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const char* StatusName(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kDegraded:
+      return "degraded";
+    case JobStatus::kFailed:
+      return "failed";
+  }
+  return "failed";
+}
+
+JobStatus StatusFromName(const std::string& name) {
+  if (name == "ok") return JobStatus::kOk;
+  if (name == "degraded") return JobStatus::kDegraded;
+  return JobStatus::kFailed;
+}
+
+// Fault sites the chaos scheduler may arm. All are reached inside
+// Partitioner::Run, so a one-shot arm is guaranteed to be consumed by
+// the first attempt (and therefore disarmed before the retry).
+constexpr const char* kChaosSites[] = {"alloc", "profile", "sim",
+                                       "schedule", "synth", "estimate"};
+
+// Derives this job's randomized fault schedule: one or two one-shot
+// `site:N` arms. One-shot is essential — the fault fires on the first
+// attempt and is disarmed by the time the retry runs, which is what
+// lets a chaos sweep converge to the clean run's exact report.
+std::string ChaosSpec(std::uint64_t chaos_seed, const std::string& job_key) {
+  Prng rng(chaos_seed ^ Fnv1a(job_key));
+  const int arms = 1 + static_cast<int>(rng.next_below(2));
+  std::string spec;
+  for (int i = 0; i < arms; ++i) {
+    const char* site = kChaosSites[rng.next_below(std::size(kChaosSites))];
+    const std::uint64_t hit = 1 + rng.next_below(3);
+    if (!spec.empty()) spec += ",";
+    spec += std::string(site) + ":" + std::to_string(hit);
+  }
+  return spec;
+}
+
+std::string ComposeSpec(const std::string& base, const std::string& extra) {
+  if (base.empty()) return extra;
+  if (extra.empty()) return base;
+  return base + "," + extra;
+}
+
+std::string RecordJson(const JobResult& job) {
+  std::ostringstream os;
+  os << "{\"app\":\"" << JsonEscape(job.app) << "\""
+     << ",\"rs\":\"" << JsonEscape(job.resource_set) << "\""
+     << ",\"seed\":\"" << SeedHex(job.seed) << "\""
+     << ",\"status\":\"" << StatusName(job.status) << "\""
+     << ",\"attempts\":" << job.attempts
+     << ",\"fault_spec\":\"" << JsonEscape(fault::CurrentSpec()) << "\""
+     << ",\"initial_j\":" << DoubleField(job.initial_energy_j)
+     << ",\"partitioned_j\":" << DoubleField(job.partitioned_energy_j)
+     << ",\"saving_pct\":" << DoubleField(job.saving_percent)
+     << ",\"time_pct\":" << DoubleField(job.time_change_percent)
+     << ",\"errors\":" << job.errors
+     << ",\"detail\":\"" << JsonEscape(job.detail) << "\"}";
+  return os.str();
+}
+
+bool ParseRecord(const std::string& record, JobResult& job) {
+  const auto app = JsonStringField(record, "app");
+  const auto rs = JsonStringField(record, "rs");
+  const auto seed = JsonStringField(record, "seed");
+  const auto status = JsonStringField(record, "status");
+  const auto attempts = JsonIntField(record, "attempts");
+  const auto initial = JsonNumberField(record, "initial_j");
+  const auto partitioned = JsonNumberField(record, "partitioned_j");
+  const auto saving = JsonNumberField(record, "saving_pct");
+  const auto time_pct = JsonNumberField(record, "time_pct");
+  const auto errors = JsonIntField(record, "errors");
+  const auto detail = JsonStringField(record, "detail");
+  if (!app || !rs || !seed || !status || !attempts || !initial || !partitioned ||
+      !saving || !time_pct || !errors || !detail) {
+    return false;
+  }
+  job.app = *app;
+  job.resource_set = *rs;
+  job.seed = std::strtoull(seed->c_str(), nullptr, 16);
+  job.status = StatusFromName(*status);
+  job.attempts = static_cast<int>(*attempts);
+  job.replayed = true;
+  job.initial_energy_j = *initial;
+  job.partitioned_energy_j = *partitioned;
+  job.saving_percent = *saving;
+  job.time_change_percent = *time_pct;
+  job.errors = *errors;
+  job.detail = *detail;
+  return true;
+}
+
+// Deterministic SIGKILL switch for the crash/resume ctest: when
+// LOPASS_EXPLORE_KILL_AFTER=N is set, the process kills itself (no
+// cleanup, no flush beyond the journal's own per-record flush) right
+// after the N-th journal append of this run. An honest crash, not a
+// simulated one.
+void MaybeKillAfter(std::uint64_t appends) {
+  static const std::int64_t kill_after = [] {
+    const char* env = std::getenv("LOPASS_EXPLORE_KILL_AFTER");
+    return env == nullptr ? std::int64_t{-1} : std::atoll(env);
+  }();
+  if (kill_after >= 0 && appends >= static_cast<std::uint64_t>(kill_after)) {
+    std::raise(SIGKILL);
+  }
+}
+
+struct Attempt {
+  bool threw = false;
+  bool transient = false;  // retry-worthy (injected fault)
+  bool cancelled = false;  // deadline — permanent by design
+  std::string error;
+  core::PartitionResult result;
+};
+
+Attempt RunAttempt(const dsl::LoweredProgram& prog, const apps::Application& app,
+                   const sched::ResourceSet& rs, std::uint64_t seed,
+                   std::int64_t deadline_ms, int scale) {
+  Attempt attempt;
+  core::PartitionOptions options = app.options;
+  options.resource_sets = {rs};
+  options.prng_seed = seed;
+  CancelToken token;
+  if (deadline_ms > 0) {
+    token.SetDeadlineAfterMs(deadline_ms);
+    options.cancel = &token;
+  }
+  try {
+    core::Partitioner partitioner(prog.module, prog.regions, options);
+    attempt.result = partitioner.Run(app.workload(scale));
+  } catch (const CancelledError& e) {
+    attempt.threw = true;
+    attempt.cancelled = true;
+    attempt.error = e.what();
+  } catch (const Error& e) {
+    attempt.threw = true;
+    attempt.transient = fault::IsTransient(e);
+    attempt.error = e.what();
+  }
+  return attempt;
+}
+
+// True when every error-severity diagnostic stems from an injected
+// fault — the degradation would not recur on retry.
+bool DegradedOnlyTransiently(const core::PartitionResult& result) {
+  bool any = false;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.severity != Severity::kError) continue;
+    any = true;
+    if (!fault::IsTransientMessage(d.message)) return false;
+  }
+  return any;
+}
+
+void FillFromResult(JobResult& job, const core::PartitionResult& result,
+                    const std::string& app_name) {
+  const core::AppRow row = result.ToRow(app_name);
+  job.initial_energy_j = row.initial.total().joules;
+  job.partitioned_energy_j = row.partitioned.total().joules;
+  job.saving_percent = row.saving_percent();
+  job.time_change_percent = row.time_change_percent();
+  job.errors = 0;
+  job.detail.clear();
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.severity != Severity::kError) continue;
+    if (job.errors == 0) job.detail = "[" + d.code + "] " + d.message;
+    ++job.errors;
+  }
+  job.status = job.errors > 0 ? JobStatus::kDegraded : JobStatus::kOk;
+}
+
+}  // namespace
+
+int ExploreReport::failed() const {
+  return static_cast<int>(std::count_if(jobs.begin(), jobs.end(), [](const JobResult& j) {
+    return j.status == JobStatus::kFailed;
+  }));
+}
+
+int ExploreReport::degraded() const {
+  return static_cast<int>(std::count_if(jobs.begin(), jobs.end(), [](const JobResult& j) {
+    return j.status == JobStatus::kDegraded;
+  }));
+}
+
+std::string ExploreReport::Render() const {
+  std::ostringstream os;
+  os << "exploration report (" << jobs.size() << " jobs)\n";
+  os << "app      resource-set  status    saving%    dtime%  errors\n";
+  for (const JobResult& job : jobs) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-8s %-13s %-9s %8.3f  %8.3f  %6lld\n",
+                  job.app.c_str(), job.resource_set.c_str(), StatusName(job.status),
+                  job.saving_percent, job.time_change_percent,
+                  static_cast<long long>(job.errors));
+    os << line;
+  }
+  os << "summary: " << jobs.size() << " jobs, "
+     << (jobs.size() - static_cast<std::size_t>(degraded() + failed())) << " ok, "
+     << degraded() << " degraded, " << failed() << " failed\n";
+  return os.str();
+}
+
+ExploreReport RunExplore(const ExploreOptions& options) {
+  ExploreReport report;
+
+  // Build the job queue: application × that application's designer
+  // resource sets, in registry order (deterministic).
+  std::vector<apps::Application> apps;
+  if (options.apps.empty()) {
+    apps = apps::AllApplications();
+  } else {
+    for (const std::string& name : options.apps) {
+      apps.push_back(apps::GetApplication(name));  // throws on unknown
+    }
+  }
+
+  // Replay the committed prefix on resume.
+  std::unordered_map<std::string, JobResult> replayed;
+  if (options.resume && !options.journal_path.empty()) {
+    JournalLoad load = LoadJournal(options.journal_path);
+    for (const std::string& warning : load.warnings) {
+      report.notes.push_back(
+          Diagnostic{Severity::kWarning, "runner.journal", SourceLoc{}, warning});
+    }
+    for (const std::string& record : load.records) {
+      JobResult job;
+      if (!ParseRecord(record, job)) {
+        report.notes.push_back(Diagnostic{Severity::kWarning, "runner.journal",
+                                          SourceLoc{},
+                                          "unparseable record in journal '" +
+                                              options.journal_path + "'; skipping"});
+        continue;
+      }
+      const std::string key = job.app + "/" + job.resource_set;
+      if (replayed.count(key) != 0) {
+        report.notes.push_back(Diagnostic{
+            Severity::kWarning, "runner.journal", SourceLoc{},
+            "duplicate journal record for job '" + key + "'; keeping the first"});
+        continue;
+      }
+      replayed.emplace(key, std::move(job));
+    }
+  }
+
+  std::unique_ptr<JournalWriter> journal;
+  if (!options.journal_path.empty()) {
+    journal = std::make_unique<JournalWriter>(options.journal_path,
+                                              /*truncate=*/!options.resume);
+  }
+
+  const int scale = options.scale > 0 ? options.scale : 1;
+  std::map<std::string, dsl::LoweredProgram> compiled;  // one compile per app
+
+  for (const apps::Application& app : apps) {
+    for (const sched::ResourceSet& rs : app.options.resource_sets) {
+      const std::string key = app.name + "/" + rs.name;
+
+      const auto hit = replayed.find(key);
+      if (hit != replayed.end()) {
+        report.jobs.push_back(hit->second);
+        continue;
+      }
+
+      JobResult job;
+      job.app = app.name;
+      job.resource_set = rs.name;
+      job.seed = options.base_seed ^ Fnv1a(key);
+
+      // Compile once per app, but never let a compile failure (e.g. an
+      // armed parse fault site) sink the whole sweep: the job is
+      // recorded failed — compile runs outside the attempt loop, so it
+      // is permanent by construction — and the queue moves on.
+      if (compiled.count(app.name) == 0) {
+        try {
+          compiled.emplace(app.name, dsl::Compile(app.dsl_source));
+        } catch (const Error& e) {
+          job.attempts = 1;
+          job.status = JobStatus::kFailed;
+          job.errors = 1;
+          job.detail = e.what();
+          report.notes.push_back(Diagnostic{
+              Severity::kWarning, "runner.breaker", SourceLoc{},
+              "job '" + key + "': compile failed, circuit breaker open: " + e.what()});
+          report.jobs.push_back(job);
+          if (journal != nullptr) {
+            journal->Append(RecordJson(report.jobs.back()));
+            MaybeKillAfter(journal->lines_written());
+          }
+          continue;
+        }
+      }
+      const dsl::LoweredProgram& prog = compiled.at(app.name);
+
+      // Chaos faults compose with any operator-supplied spec, and are
+      // installed once per *job* — a one-shot arm consumed by attempt 1
+      // must stay disarmed for the retries.
+      const std::string chaos_spec =
+          options.chaos ? ChaosSpec(options.chaos_seed, key) : std::string();
+      std::unique_ptr<fault::ScopedSpec> scoped;
+      if (!chaos_spec.empty()) {
+        scoped = std::make_unique<fault::ScopedSpec>(
+            ComposeSpec(fault::CurrentSpec(), chaos_spec));
+        report.notes.push_back(Diagnostic{
+            Severity::kNote, "runner.chaos", SourceLoc{},
+            "job '" + key + "': chaos fault schedule '" + chaos_spec + "'"});
+      }
+
+      Prng backoff_rng(job.seed);
+      const int max_attempts = std::max(1, options.retry.max_attempts);
+      bool recorded = false;
+      std::string last_error;
+      for (int attempt_no = 1; attempt_no <= max_attempts; ++attempt_no) {
+        job.attempts = attempt_no;
+        Attempt attempt = RunAttempt(prog, app, rs, job.seed, options.deadline_ms, scale);
+
+        if (!attempt.threw) {
+          if (DegradedOnlyTransiently(attempt.result) && attempt_no < max_attempts) {
+            report.notes.push_back(Diagnostic{
+                Severity::kNote, "runner.retry", SourceLoc{},
+                "job '" + key + "' attempt " + std::to_string(attempt_no) +
+                    " degraded by a transient fault; retrying"});
+          } else {
+            FillFromResult(job, attempt.result, app.name);
+            recorded = true;
+            break;
+          }
+        } else {
+          last_error = attempt.error;
+          if (attempt.cancelled || !attempt.transient) {
+            // Circuit breaker: permanent failure (deadline or a real
+            // error) — retrying would burn the budget on a rerun that
+            // fails identically.
+            report.notes.push_back(Diagnostic{
+                Severity::kWarning, "runner.breaker", SourceLoc{},
+                "job '" + key + "': permanent failure, circuit breaker open: " +
+                    attempt.error});
+            break;
+          }
+          if (attempt_no == max_attempts) break;  // retries exhausted
+          report.notes.push_back(Diagnostic{
+              Severity::kNote, "runner.retry", SourceLoc{},
+              "job '" + key + "' attempt " + std::to_string(attempt_no) +
+                  " hit a transient fault; retrying: " + attempt.error});
+        }
+
+        if (options.retry.base_ms > 0) {
+          const std::int64_t shifted =
+              attempt_no >= 62 ? options.retry.max_ms
+                               : options.retry.base_ms << (attempt_no - 1);
+          const std::int64_t backoff = std::min(options.retry.max_ms, shifted) +
+                                       static_cast<std::int64_t>(backoff_rng.next_below(
+                                           static_cast<std::uint64_t>(options.retry.base_ms)));
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        }
+      }
+
+      if (!recorded) {
+        // The job threw on every permitted attempt: degrade to the
+        // all-software answer space — there is no result to report, so
+        // it is recorded failed with the last error for the operator.
+        job.status = JobStatus::kFailed;
+        job.errors = 1;
+        job.detail = last_error;
+      }
+
+      report.jobs.push_back(job);
+      if (journal != nullptr) {
+        journal->Append(RecordJson(report.jobs.back()));
+        MaybeKillAfter(journal->lines_written());
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace lopass::runner

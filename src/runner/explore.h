@@ -1,0 +1,108 @@
+#pragma once
+
+// Supervised design-space exploration runner.
+//
+// Drives the application × resource-set candidate space as a job
+// queue. Each job runs the full partitioning flow for one application
+// restricted to one designer resource set, under supervision:
+//
+//  - every completed evaluation is appended to a checksummed JSONL
+//    journal (runner/journal.h) — PRNG seed, fault spec, attempt count,
+//    objective-function inputs, diagnostics summary — and the journal
+//    is flushed per record, so `--resume` after a SIGKILL replays the
+//    committed prefix and re-runs only the rest, producing a report
+//    byte-identical to an uninterrupted run;
+//  - each job gets a wall-clock deadline enforced cooperatively via
+//    CancelToken (common/cancel.h), threaded through the partitioner
+//    and both schedulers;
+//  - failures classified transient by common/fault (injected faults)
+//    are retried with exponential backoff + deterministic jitter; a
+//    job that keeps failing trips the circuit breaker and is recorded
+//    degraded with whatever result survived (worst case the
+//    all-software fallback) instead of sinking the whole sweep;
+//  - chaos mode (--chaos SEED) composes a randomized schedule of
+//    one-shot fault injections with any live LOPASS_FAULT_INJECT spec
+//    and asserts the supervised run still converges — because every
+//    chaos fault is one-shot and transient, the retried sweep must
+//    produce the same report as a clean run.
+//
+// All evaluations are deterministic (fixed per-job PRNG seeds, no
+// wall-clock in any recorded field), which is what makes byte-identical
+// resume testable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/diag.h"
+
+namespace lopass::runner {
+
+struct RetryPolicy {
+  // Attempts per job including the first (1 = no retry).
+  int max_attempts = 3;
+  // Backoff before retry k (1-based) is min(max_ms, base_ms << (k-1))
+  // plus jitter in [0, base_ms), drawn from the job's own PRNG stream.
+  // base_ms = 0 disables sleeping (tests).
+  std::int64_t base_ms = 0;
+  std::int64_t max_ms = 1000;
+};
+
+struct ExploreOptions {
+  // Journal path; empty runs unjournaled (no resume possible).
+  std::string journal_path;
+  // Replay committed records from the journal instead of truncating it.
+  bool resume = false;
+  // Applications to sweep; empty = all six.
+  std::vector<std::string> apps;
+  // Workload scale; <= 0 uses each app's test-friendly scale 1.
+  int scale = 1;
+  // Per-job wall-clock deadline; <= 0 disables.
+  std::int64_t deadline_ms = 0;
+  RetryPolicy retry;
+  // Chaos mode: derive a randomized one-shot fault schedule per job.
+  bool chaos = false;
+  std::uint64_t chaos_seed = 1;
+  // Base seed XOR-folded with the job key into each job's PRNG seed.
+  std::uint64_t base_seed = 0x9e3779b97f4a7c15ull;
+};
+
+// Final status of one job. kFailed means even the circuit-breaker
+// fallback produced nothing usable (the job threw on every attempt).
+enum class JobStatus { kOk, kDegraded, kFailed };
+
+struct JobResult {
+  std::string app;
+  std::string resource_set;  // designer set this job was restricted to
+  std::uint64_t seed = 0;
+  JobStatus status = JobStatus::kFailed;
+  int attempts = 0;
+  bool replayed = false;  // satisfied from the journal on resume
+  // Objective-function inputs / Table-1 metrics of the evaluation.
+  double initial_energy_j = 0.0;
+  double partitioned_energy_j = 0.0;
+  double saving_percent = 0.0;
+  double time_change_percent = 0.0;
+  std::int64_t errors = 0;  // error-severity diagnostics in the result
+  std::string detail;       // first error message, or ""
+};
+
+struct ExploreReport {
+  std::vector<JobResult> jobs;
+  // Supervision metadata — journal warnings, retry notices, circuit
+  // breaker trips. Deliberately excluded from Render() so a resumed or
+  // chaos run stays byte-identical to a clean one.
+  std::vector<Diagnostic> notes;
+
+  int failed() const;
+  int degraded() const;
+  // Deterministic report over job outcomes only (stable ordering,
+  // fixed float formatting, no timing, no attempt counts).
+  std::string Render() const;
+};
+
+// Runs the sweep. Throws lopass::Error only for unusable setup (bad
+// app name, unwritable journal); per-job failures land in the report.
+ExploreReport RunExplore(const ExploreOptions& options);
+
+}  // namespace lopass::runner

@@ -1,0 +1,87 @@
+#pragma once
+
+// Crash-safe append-only JSONL journal for the exploration runner.
+//
+// One line per completed candidate evaluation, each a self-validating
+// JSON object:
+//
+//   {"crc32":"9ae4c1d2","record":{...}}
+//
+// where crc32 is the CRC-32 (IEEE) of the exact serialized `record`
+// substring. The writer appends one line per record and flushes to the
+// OS after every append, so a SIGKILL loses at most the line being
+// written — and that torn line is detectable. The reader is built for
+// hostile input: a truncated final line, a bit-flipped payload, or any
+// other malformed line is skipped with a warning, never an exception —
+// resume must always be able to salvage every intact record.
+//
+// The journal layer stores opaque record payloads; the schema (job
+// keys, metrics, duplicate detection) belongs to the explorer
+// (runner/explore.h). Small helpers for the flat JSON dialect the
+// runner writes (string/int/double fields, no nesting inside records)
+// live here so writer and reader stay in one place.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lopass::runner {
+
+// CRC-32 (IEEE 802.3, reflected) of a byte string.
+std::uint32_t Crc32(std::string_view data);
+
+// JSON string escaping for the subset we emit (quotes, backslash,
+// control characters).
+std::string JsonEscape(std::string_view s);
+
+// Field extraction from one flat record object (no nested objects /
+// arrays inside). Returns nullopt when the key is missing or the value
+// has the wrong shape.
+std::optional<std::string> JsonStringField(std::string_view record, std::string_view key);
+std::optional<double> JsonNumberField(std::string_view record, std::string_view key);
+std::optional<std::int64_t> JsonIntField(std::string_view record, std::string_view key);
+
+// Appends checksummed records to a journal file, flushing after every
+// line. Throws lopass::Error if the file cannot be opened or written —
+// losing the journal silently would defeat its purpose.
+class JournalWriter {
+ public:
+  // `truncate` starts a fresh journal; otherwise appends to what is
+  // there (the resume path).
+  JournalWriter(const std::string& path, bool truncate);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // `record_json` must be one serialized JSON object without newlines.
+  void Append(const std::string& record_json);
+
+  std::uint64_t lines_written() const { return lines_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t lines_written_ = 0;
+};
+
+struct JournalLoad {
+  // Verified record payloads (the `record` substring of each line), in
+  // file order.
+  std::vector<std::string> records;
+  // One human-readable warning per skipped line (truncated tail,
+  // checksum mismatch, malformed wrapper).
+  std::vector<std::string> warnings;
+};
+
+// Reads every line of the journal at `path`, verifying wrapper shape
+// and checksum. A missing file yields an empty load (fresh start);
+// corrupt lines are skipped and warned about, never fatal.
+JournalLoad LoadJournal(const std::string& path);
+
+// Serializes one wrapper line (checksum + record) the writer/reader
+// agree on. Exposed for tests that need to craft corrupt journals.
+std::string WrapRecord(const std::string& record_json);
+
+}  // namespace lopass::runner

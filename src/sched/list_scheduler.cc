@@ -80,6 +80,7 @@ BlockSchedule ListSchedule(const BlockDfg& dfg, const ResourceSet& rs,
   std::uint32_t makespan = 0;
 
   while (remaining > 0) {
+    CheckCancel(options.cancel, "list schedule");
     LOPASS_CHECK(step < 4'000'000,
                  "list scheduler iteration cap (4000000 steps) exceeded without "
                  "scheduling every op (resource set too small or cyclic DFG?)");

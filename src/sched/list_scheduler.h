@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "power/tech_library.h"
 #include "sched/dfg.h"
 #include "sched/resource_set.h"
@@ -42,6 +43,10 @@ struct SchedulerOptions {
   // Ready-list priority: kDepth (longest path to sink, the default) or
   // kMobility (least ALAP-ASAP slack first).
   enum class Priority { kDepth, kMobility } priority = Priority::kDepth;
+  // Cooperative cancellation: when set, the scheduler polls the token
+  // at every control step and aborts with CancelledError once it fires
+  // (the exploration runner's per-job deadline). Null = not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 // Schedules one block DFG under the resource set. Throws if an

@@ -1,0 +1,99 @@
+# End-to-end crash/chaos contract for `lopass_cli explore`, on the real
+# binary:
+#
+#   MODE=kill_resume  arm LOPASS_EXPLORE_KILL_AFTER so the process
+#                     SIGKILLs itself after N journal appends, then
+#                     resume from the journal and require the resumed
+#                     report to be byte-identical to an uninterrupted
+#                     run's.
+#   MODE=chaos        run under a randomized one-shot fault schedule
+#                     (--chaos SEED) and require exit 0 and a report
+#                     byte-identical to the clean run's.
+#
+# Arguments (via -D):
+#   CLI           path to the lopass_cli binary
+#   MODE          kill_resume | chaos
+#   WORKDIR       scratch directory for journals and captured reports
+#   APPS          --apps value for the sweep
+#   KILL_AFTER    (kill_resume) append count before the self-SIGKILL
+#   CHAOS_SEED    (chaos) seed for the fault schedule
+
+if(NOT DEFINED CLI OR NOT DEFINED MODE OR NOT DEFINED WORKDIR OR NOT DEFINED APPS)
+  message(FATAL_ERROR "explore_check.cmake needs -DCLI, -DMODE, -DWORKDIR, -DAPPS")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(ENV{LOPASS_FAULT_INJECT} "")
+
+# The uninterrupted reference sweep.
+execute_process(
+  COMMAND ${CLI} explore --apps ${APPS}
+  RESULT_VARIABLE clean_rc
+  OUTPUT_VARIABLE clean_out
+  ERROR_VARIABLE clean_err
+)
+if(NOT clean_rc STREQUAL "0")
+  message(FATAL_ERROR "clean explore run failed (rc=${clean_rc})\n${clean_err}")
+endif()
+
+if(MODE STREQUAL "kill_resume")
+  if(NOT DEFINED KILL_AFTER)
+    message(FATAL_ERROR "kill_resume mode needs -DKILL_AFTER=N")
+  endif()
+  set(journal "${WORKDIR}/kill_resume.jsonl")
+  file(REMOVE "${journal}")
+
+  # Crash the sweep for real: SIGKILL after N committed records.
+  set(ENV{LOPASS_EXPLORE_KILL_AFTER} "${KILL_AFTER}")
+  execute_process(
+    COMMAND ${CLI} explore --apps ${APPS} --journal ${journal}
+    RESULT_VARIABLE kill_rc
+    OUTPUT_VARIABLE kill_out
+    ERROR_VARIABLE kill_err
+  )
+  unset(ENV{LOPASS_EXPLORE_KILL_AFTER})
+  if(kill_rc STREQUAL "0")
+    message(FATAL_ERROR
+      "expected the armed kill switch to terminate the sweep, but it exited 0; "
+      "raise KILL_AFTER below the job count")
+  endif()
+  if(NOT EXISTS "${journal}")
+    message(FATAL_ERROR "no journal survived the kill")
+  endif()
+
+  # Resume: replay the committed prefix, run the rest.
+  execute_process(
+    COMMAND ${CLI} explore --apps ${APPS} --resume ${journal}
+    RESULT_VARIABLE resume_rc
+    OUTPUT_VARIABLE resume_out
+    ERROR_VARIABLE resume_err
+  )
+  if(NOT resume_rc STREQUAL "0")
+    message(FATAL_ERROR "resumed explore run failed (rc=${resume_rc})\n${resume_err}")
+  endif()
+  if(NOT resume_out STREQUAL clean_out)
+    message(FATAL_ERROR
+      "resumed report is not byte-identical to the uninterrupted run\n"
+      "--- uninterrupted ---\n${clean_out}\n--- resumed ---\n${resume_out}")
+  endif()
+elseif(MODE STREQUAL "chaos")
+  if(NOT DEFINED CHAOS_SEED)
+    message(FATAL_ERROR "chaos mode needs -DCHAOS_SEED=N")
+  endif()
+  execute_process(
+    COMMAND ${CLI} explore --apps ${APPS} --chaos ${CHAOS_SEED} --retries 4
+    RESULT_VARIABLE chaos_rc
+    OUTPUT_VARIABLE chaos_out
+    ERROR_VARIABLE chaos_err
+  )
+  if(NOT chaos_rc STREQUAL "0")
+    message(FATAL_ERROR "chaos explore run failed (rc=${chaos_rc})\n${chaos_err}")
+  endif()
+  if(NOT chaos_out STREQUAL clean_out)
+    message(FATAL_ERROR
+      "chaos report is not byte-identical to the clean run (seed ${CHAOS_SEED})\n"
+      "--- clean ---\n${clean_out}\n--- chaos ---\n${chaos_out}")
+  endif()
+else()
+  message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()

@@ -75,6 +75,7 @@ TEST(LintCorpus, EachReproducerFiresExactlyItsCode) {
       {"l204_unreachable.lp", "L204"},
       {"l205_constant_branch.lp", "L205"},
       {"l206_uncalled_function.lp", "L206"},
+      {"l207_oob_index.lp", "L207"},
   };
   for (const CorpusCase& c : cases) {
     const analysis::LintReport r = Lint(ReadData(c.file));
@@ -91,7 +92,7 @@ TEST(LintCorpus, EachReproducerFiresExactlyItsCode) {
 TEST(LintCorpus, CleanTwinsStayClean) {
   const char* twins[] = {"l200_clean.lp", "l201_clean.lp", "l202_clean.lp",
                          "l203_clean.lp", "l204_clean.lp", "l205_clean.lp",
-                         "l206_clean.lp"};
+                         "l206_clean.lp", "l207_clean.lp"};
   for (const char* file : twins) {
     const analysis::LintReport r = Lint(ReadData(file));
     EXPECT_EQ(r.errors, 0u) << file;

@@ -52,6 +52,15 @@ Workload MakeWorkload() {
   return w;
 }
 
+// Every result now leads with the kNote run-context header (PRNG seed
+// + live fault spec); error-level assertions must look past it.
+const Diagnostic* FirstError(const PartitionResult& r) {
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.severity == Severity::kError) return &d;
+  }
+  return nullptr;
+}
+
 class FaultInjectionTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -68,7 +77,14 @@ TEST_F(FaultInjectionTest, BaselinePartitionsAndIsClean) {
   const PartitionResult r = part.Run(workload_);
   EXPECT_TRUE(r.partitioned());
   EXPECT_FALSE(r.degraded());
-  EXPECT_TRUE(r.diagnostics.empty());
+  // A clean run carries exactly the reproducibility header and nothing
+  // else: the note naming the PRNG seed and the (empty) fault spec.
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].severity, Severity::kNote);
+  EXPECT_EQ(r.diagnostics[0].code, "run.context");
+  EXPECT_NE(r.diagnostics[0].message.find("prng seed 0x9e3779b97f4a7c15"),
+            std::string::npos);
+  EXPECT_NE(r.diagnostics[0].message.find("fault spec ''"), std::string::npos);
   EXPECT_EQ(r.partitioned_run.return_value, r.initial_run.return_value);
 }
 
@@ -86,8 +102,11 @@ TEST_F(FaultInjectionTest, ClusterDecompositionFaultFallsBackToAllSoftware) {
   const PartitionResult r = part.Run(workload_);
   EXPECT_FALSE(r.partitioned());
   EXPECT_TRUE(r.degraded());
-  ASSERT_FALSE(r.diagnostics.empty());
-  EXPECT_EQ(r.diagnostics[0].code, "partition.cluster");
+  const Diagnostic* err = FirstError(r);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, "partition.cluster");
+  // The header must name the spec that produced this failure.
+  EXPECT_NE(r.diagnostics[0].message.find("fault spec 'alloc'"), std::string::npos);
   EXPECT_EQ(r.partitioned_run.return_value, r.initial_run.return_value);
 }
 
@@ -110,10 +129,12 @@ TEST_F(FaultInjectionTest, IsolatedSitesProduceValidFallbacks) {
     ASSERT_FALSE(r.diagnostics.empty()) << c.site;
     bool found = false;
     for (const Diagnostic& d : r.diagnostics) {
+      if (d.severity != Severity::kError) continue;  // skip the context note
       if (d.code == c.code) found = true;
       EXPECT_NE(d.message.find("injected fault at site '" + std::string(c.site) + "'"),
                 std::string::npos)
           << c.site;
+      EXPECT_TRUE(fault::IsTransientMessage(d.message)) << c.site;
     }
     EXPECT_TRUE(found) << c.site << " missing code " << c.code;
     EXPECT_EQ(r.partitioned_run.return_value, r.initial_run.return_value) << c.site;
@@ -131,8 +152,9 @@ TEST_F(FaultInjectionTest, ResimFaultRollsBackToInitialRun) {
   ASSERT_NO_THROW(r = part.Run(workload_));
   EXPECT_FALSE(r.partitioned());
   EXPECT_TRUE(r.degraded());
-  ASSERT_FALSE(r.diagnostics.empty());
-  EXPECT_EQ(r.diagnostics[0].code, "partition.resim");
+  const Diagnostic* err = FirstError(r);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, "partition.resim");
   EXPECT_EQ(r.asic_cycles, 0u);
   EXPECT_EQ(r.partitioned_run.return_value, r.initial_run.return_value);
 }

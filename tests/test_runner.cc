@@ -1,0 +1,348 @@
+// Supervised exploration runner: journal integrity under corruption
+// (truncation, bit flips, duplicates), cooperative cancellation, and
+// the retry / circuit-breaker / chaos supervision loop — including the
+// contract the crash tests lean on: a resumed or chaos run renders a
+// report byte-identical to a clean one.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/cancel.h"
+#include "common/fault.h"
+#include "runner/explore.h"
+#include "runner/journal.h"
+
+namespace lopass::runner {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "lopass_" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+// --- journal ----------------------------------------------------------
+
+TEST(Crc32Test, KnownAnswer) {
+  // The CRC-32 (IEEE) check value from the standard test vector.
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(JournalTest, RoundTripsRecords) {
+  const std::string path = TempPath("journal_roundtrip.jsonl");
+  {
+    JournalWriter writer(path, /*truncate=*/true);
+    writer.Append("{\"app\":\"3d\",\"saving\":-35.21}");
+    writer.Append("{\"app\":\"MPG\",\"detail\":\"quote \\\" inside\"}");
+    EXPECT_EQ(writer.lines_written(), 2u);
+  }
+  const JournalLoad load = LoadJournal(path);
+  EXPECT_TRUE(load.warnings.empty());
+  ASSERT_EQ(load.records.size(), 2u);
+  EXPECT_EQ(load.records[0], "{\"app\":\"3d\",\"saving\":-35.21}");
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, MissingFileIsFreshStart) {
+  const JournalLoad load = LoadJournal(TempPath("journal_does_not_exist.jsonl"));
+  EXPECT_TRUE(load.records.empty());
+  EXPECT_TRUE(load.warnings.empty());
+}
+
+TEST(JournalTest, TruncatedFinalLineIsSkippedWithWarning) {
+  const std::string path = TempPath("journal_truncated.jsonl");
+  const std::string full = WrapRecord("{\"a\":1}") + "\n" + WrapRecord("{\"a\":2}") + "\n";
+  // Chop the second line mid-record, as a SIGKILL mid-append would.
+  WriteFile(path, full.substr(0, full.size() - 6));
+  const JournalLoad load = LoadJournal(path);
+  ASSERT_EQ(load.records.size(), 1u);
+  EXPECT_EQ(load.records[0], "{\"a\":1}");
+  ASSERT_EQ(load.warnings.size(), 1u);
+  EXPECT_NE(load.warnings[0].find("truncated final line"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, BitFlippedRecordFailsItsChecksum) {
+  const std::string path = TempPath("journal_bitflip.jsonl");
+  std::string line = WrapRecord("{\"a\":1,\"b\":2}");
+  line[line.size() - 5] ^= 0x01;  // flip a bit inside the record payload
+  WriteFile(path, WrapRecord("{\"a\":0}") + "\n" + line + "\n");
+  const JournalLoad load = LoadJournal(path);
+  ASSERT_EQ(load.records.size(), 1u);
+  EXPECT_EQ(load.records[0], "{\"a\":0}");
+  ASSERT_EQ(load.warnings.size(), 1u);
+  EXPECT_NE(load.warnings[0].find("checksum mismatch"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, MalformedWrapperIsSkippedWithWarning) {
+  const std::string path = TempPath("journal_malformed.jsonl");
+  WriteFile(path, "not json at all\n" + WrapRecord("{\"ok\":1}") + "\n");
+  const JournalLoad load = LoadJournal(path);
+  ASSERT_EQ(load.records.size(), 1u);
+  EXPECT_EQ(load.warnings.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, FieldExtraction) {
+  const std::string rec =
+      "{\"app\":\"ckey\",\"seed\":\"0xdead\",\"saving_pct\":-12.5,\"errors\":3,"
+      "\"detail\":\"a \\\"q\\\" b\"}";
+  EXPECT_EQ(JsonStringField(rec, "app").value(), "ckey");
+  EXPECT_EQ(JsonStringField(rec, "detail").value(), "a \"q\" b");
+  EXPECT_DOUBLE_EQ(JsonNumberField(rec, "saving_pct").value(), -12.5);
+  EXPECT_EQ(JsonIntField(rec, "errors").value(), 3);
+  EXPECT_FALSE(JsonStringField(rec, "missing").has_value());
+  EXPECT_FALSE(JsonIntField(rec, "app").has_value());
+}
+
+// --- cancellation -----------------------------------------------------
+
+TEST(CancelTokenTest, DefaultNeverFires) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.Check("test"));
+  EXPECT_NO_THROW(CheckCancel(nullptr, "test"));
+}
+
+TEST(CancelTokenTest, CancelFiresImmediately) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  try {
+    token.Check("unit test");
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_NE(std::string(e.what()).find("cancelled in unit test"), std::string::npos);
+  }
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, DeadlineFiresAfterElapsing) {
+  CancelToken token;
+  token.SetDeadlineAfterMs(5);
+  EXPECT_FALSE(token.cancelled());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(token.cancelled());
+  try {
+    token.Check("sweep");
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline exceeded in sweep"),
+              std::string::npos);
+  }
+  token.SetDeadlineAfterMs(0);  // disarms
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(TransientClassificationTest, OnlyInjectedFaultsAreTransient) {
+  EXPECT_TRUE(fault::IsTransient(InjectedFault("injected fault at site 'sim' (hit 1)")));
+  EXPECT_FALSE(fault::IsTransient(CancelledError("deadline exceeded in sweep")));
+  EXPECT_FALSE(fault::IsTransient(Error("resource set provides no resource for mul")));
+  EXPECT_TRUE(fault::IsTransientMessage("schedule failed: injected fault at site 'x'"));
+  EXPECT_FALSE(fault::IsTransientMessage("schedule failed: no resource for mul"));
+}
+
+// --- the supervision loop --------------------------------------------
+
+ExploreOptions EngineSweep() {
+  ExploreOptions options;
+  options.apps = {"engine"};
+  options.scale = 1;
+  return options;
+}
+
+TEST(ExploreTest, CleanSweepIsDeterministic) {
+  const ExploreReport a = RunExplore(EngineSweep());
+  const ExploreReport b = RunExplore(EngineSweep());
+  ASSERT_EQ(a.jobs.size(), 4u);  // engine's four designer resource sets
+  EXPECT_EQ(a.failed(), 0);
+  EXPECT_EQ(a.degraded(), 0);
+  for (const JobResult& job : a.jobs) {
+    EXPECT_EQ(job.status, JobStatus::kOk);
+    EXPECT_EQ(job.attempts, 1);
+    EXPECT_FALSE(job.replayed);
+  }
+  EXPECT_EQ(a.Render(), b.Render());
+}
+
+TEST(ExploreTest, UnknownAppIsAUsageError) {
+  ExploreOptions options;
+  options.apps = {"nonesuch"};
+  EXPECT_THROW((void)RunExplore(options), Error);
+}
+
+TEST(ExploreTest, TransientFaultIsRetriedToSuccess) {
+  // profile:1 throws out of the first attempt (before the baseline
+  // exists -> fail-fast path); one-shot, so the retry runs clean.
+  fault::ScopedSpec spec("profile:1");
+  ExploreOptions options = EngineSweep();
+  options.retry.max_attempts = 3;
+  const ExploreReport report = RunExplore(options);
+  EXPECT_EQ(report.failed(), 0);
+  ASSERT_EQ(report.jobs.size(), 4u);
+  EXPECT_EQ(report.jobs[0].attempts, 2);  // fault consumed by job 1
+  EXPECT_EQ(report.jobs[0].status, JobStatus::kOk);
+  EXPECT_EQ(report.jobs[1].attempts, 1);
+  bool retried = false;
+  for (const Diagnostic& d : report.notes) retried |= d.code == "runner.retry";
+  EXPECT_TRUE(retried);
+}
+
+TEST(ExploreTest, ExhaustedRetriesTripTheJob) {
+  // Every profile hit fires: all attempts fail, retries run out.
+  fault::ScopedSpec spec("profile");
+  ExploreOptions options = EngineSweep();
+  options.retry.max_attempts = 2;
+  const ExploreReport report = RunExplore(options);
+  ASSERT_EQ(report.jobs.size(), 4u);
+  for (const JobResult& job : report.jobs) {
+    EXPECT_EQ(job.status, JobStatus::kFailed);
+    EXPECT_EQ(job.attempts, 2);
+    EXPECT_NE(job.detail.find("injected fault at site 'profile'"), std::string::npos);
+  }
+}
+
+TEST(ExploreTest, CompileFaultOpensTheBreakerWithoutSinkingTheSweep) {
+  fault::ScopedSpec spec("parse");
+  const ExploreReport report = RunExplore(EngineSweep());
+  ASSERT_EQ(report.jobs.size(), 4u);
+  for (const JobResult& job : report.jobs) {
+    EXPECT_EQ(job.status, JobStatus::kFailed);
+    EXPECT_EQ(job.attempts, 1);  // permanent: no retry
+  }
+  bool breaker = false;
+  for (const Diagnostic& d : report.notes) breaker |= d.code == "runner.breaker";
+  EXPECT_TRUE(breaker);
+}
+
+TEST(ExploreTest, DeadlineDegradesInsteadOfHanging) {
+  // A 0-ms-equivalent deadline: armed so tight every attempt cancels.
+  // CancelledError is permanent — exactly one attempt, breaker opens.
+  ExploreOptions options = EngineSweep();
+  options.deadline_ms = 1;
+  options.retry.max_attempts = 3;
+  const ExploreReport report = RunExplore(options);
+  ASSERT_EQ(report.jobs.size(), 4u);
+  for (const JobResult& job : report.jobs) {
+    if (job.status != JobStatus::kFailed) continue;  // fast machines may finish
+    EXPECT_EQ(job.attempts, 1) << "deadline failures must not be retried";
+    EXPECT_NE(job.detail.find("deadline exceeded"), std::string::npos);
+  }
+}
+
+TEST(ExploreTest, ChaosReportMatchesCleanReport) {
+  const ExploreReport clean = RunExplore(EngineSweep());
+  for (const std::uint64_t chaos_seed : {7ull, 99ull}) {
+    ExploreOptions options = EngineSweep();
+    options.chaos = true;
+    options.chaos_seed = chaos_seed;
+    options.retry.max_attempts = 4;  // room to absorb two one-shot faults
+    const ExploreReport chaos = RunExplore(options);
+    EXPECT_EQ(chaos.Render(), clean.Render()) << "chaos seed " << chaos_seed;
+    bool scheduled = false;
+    for (const Diagnostic& d : chaos.notes) scheduled |= d.code == "runner.chaos";
+    EXPECT_TRUE(scheduled);
+  }
+}
+
+TEST(ExploreTest, ResumeReplaysCommittedPrefixByteIdentically) {
+  const std::string path = TempPath("explore_resume.jsonl");
+  ExploreOptions options = EngineSweep();
+  options.journal_path = path;
+  const ExploreReport full = RunExplore(options);
+  ASSERT_EQ(full.jobs.size(), 4u);
+
+  // Keep only the first two committed records, as if the process had
+  // been killed mid-sweep, then resume.
+  std::istringstream journal(ReadFile(path));
+  std::string line1, line2;
+  std::getline(journal, line1);
+  std::getline(journal, line2);
+  WriteFile(path, line1 + "\n" + line2 + "\n");
+
+  ExploreOptions resume = options;
+  resume.resume = true;
+  const ExploreReport resumed = RunExplore(resume);
+  ASSERT_EQ(resumed.jobs.size(), 4u);
+  EXPECT_TRUE(resumed.jobs[0].replayed);
+  EXPECT_TRUE(resumed.jobs[1].replayed);
+  EXPECT_FALSE(resumed.jobs[2].replayed);
+  EXPECT_EQ(resumed.Render(), full.Render());
+  // The journal now holds all four records again.
+  EXPECT_EQ(LoadJournal(path).records.size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(ExploreTest, DuplicateJournalRecordIsSkippedWithWarning) {
+  const std::string path = TempPath("explore_duplicate.jsonl");
+  ExploreOptions options = EngineSweep();
+  options.journal_path = path;
+  const ExploreReport full = RunExplore(options);
+
+  // Duplicate the first committed line (a crash between append and the
+  // in-memory dedup could produce this on a pathological resume chain).
+  const std::string content = ReadFile(path);
+  const std::string first = content.substr(0, content.find('\n') + 1);
+  WriteFile(path, first + content);
+
+  ExploreOptions resume = options;
+  resume.resume = true;
+  const ExploreReport resumed = RunExplore(resume);
+  EXPECT_EQ(resumed.Render(), full.Render());
+  bool warned = false;
+  for (const Diagnostic& d : resumed.notes) {
+    warned |= d.code == "runner.journal" &&
+              d.message.find("duplicate journal record") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+  std::remove(path.c_str());
+}
+
+TEST(ExploreTest, CorruptJournalRecordIsReEvaluatedOnResume) {
+  const std::string path = TempPath("explore_corrupt.jsonl");
+  ExploreOptions options = EngineSweep();
+  options.journal_path = path;
+  const ExploreReport full = RunExplore(options);
+
+  // Flip a bit in the third record: resume must warn, re-run that job,
+  // and still converge to the same report.
+  std::string content = ReadFile(path);
+  std::size_t at = 0;
+  for (int i = 0; i < 2; ++i) at = content.find('\n', at) + 1;
+  content[at + 40] ^= 0x01;
+  WriteFile(path, content);
+
+  ExploreOptions resume = options;
+  resume.resume = true;
+  const ExploreReport resumed = RunExplore(resume);
+  EXPECT_EQ(resumed.Render(), full.Render());
+  EXPECT_FALSE(resumed.jobs[2].replayed);
+  bool warned = false;
+  for (const Diagnostic& d : resumed.notes) {
+    warned |= d.message.find("checksum mismatch") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lopass::runner

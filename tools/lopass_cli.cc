@@ -26,6 +26,21 @@
 //   IR verification, dataflow lints, partition/schedule/netlist
 //   validators. Exit 0 clean (warnings allowed), 1 errors, 2 usage.
 //
+//   lopass_cli explore [options]
+//     --journal PATH          checksummed JSONL journal to write
+//     --resume JOURNAL        resume: replay committed records, run the rest
+//     --apps A,B,...          applications to sweep (default: all six)
+//     --scale N               workload scale (default 1)
+//     --deadline-ms N         per-job wall-clock deadline (0 = none)
+//     --retries N             attempts per job incl. the first (default 3)
+//     --backoff-ms N          retry backoff base; 0 disables sleeping
+//     --chaos SEED            chaos mode: randomized one-shot fault schedules
+//     --seed S                base PRNG seed folded into each job's seed
+//   Runs the supervised design-space exploration (docs/robustness.md):
+//   every completed evaluation is journaled and flushed, so a killed
+//   sweep resumed with --resume reprints a byte-identical report. Exit
+//   0 all jobs ok, 1 any degraded/failed job, 2 usage.
+//
 //   lopass_cli FILE.lp [options]
 //     --entry NAME            entry function (default: main)
 //     --arg VALUE             append an entry-function argument
@@ -49,6 +64,7 @@
 //   lopass_cli examples/dsl/fir.lp --set n=1024 --fill coeff=ramp:16:2
 //     --fill signal=rand:1024:-128:127
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -69,6 +85,7 @@
 #include "ir/print.h"
 #include "isa/codegen.h"
 #include "opt/passes.h"
+#include "runner/explore.h"
 
 namespace {
 
@@ -89,6 +106,9 @@ struct ScalarSet {
                "   or: lopass_cli lint FILE.lp [--entry NAME] [--unroll K]\n"
                "       [--app NAME] [--list-codes] [--no-partition-checks]\n"
                "       [-Wno-CODE] [-Werror[=CODE]]\n"
+               "   or: lopass_cli explore [--journal PATH | --resume JOURNAL]\n"
+               "       [--apps A,B,...] [--scale N] [--deadline-ms N]\n"
+               "       [--retries N] [--backoff-ms N] [--chaos SEED] [--seed S]\n"
                "exit codes: 0 ok, 1 pipeline error, 2 usage error\n");
   std::exit(2);
 }
@@ -216,12 +236,121 @@ int RunLint(int argc, char** argv) {
   }
 }
 
+// `lopass_cli explore` — the supervised design-space exploration
+// runner. argv is shifted so argv[0] is the verb itself.
+int RunExplore(int argc, char** argv) {
+  runner::ExploreOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--journal") {
+      options.journal_path = next();
+    } else if (a == "--resume") {
+      options.journal_path = next();
+      options.resume = true;
+    } else if (a == "--apps") {
+      std::stringstream list(next());
+      std::string name;
+      while (std::getline(list, name, ',')) {
+        if (!name.empty()) options.apps.push_back(name);
+      }
+    } else if (a == "--scale") {
+      options.scale = static_cast<int>(ParseIntArg(next(), "--scale"));
+      if (options.scale < 1) Usage("--scale wants a positive factor");
+    } else if (a == "--deadline-ms") {
+      options.deadline_ms = ParseIntArg(next(), "--deadline-ms");
+    } else if (a == "--retries") {
+      options.retry.max_attempts = static_cast<int>(ParseIntArg(next(), "--retries"));
+      if (options.retry.max_attempts < 1) Usage("--retries wants at least 1 attempt");
+    } else if (a == "--backoff-ms") {
+      options.retry.base_ms = ParseIntArg(next(), "--backoff-ms");
+      if (options.retry.base_ms < 0) Usage("--backoff-ms wants a non-negative value");
+    } else if (a == "--chaos") {
+      options.chaos = true;
+      options.chaos_seed =
+          static_cast<std::uint64_t>(ParseIntArg(next(), "--chaos"));
+    } else if (a == "--seed") {
+      options.base_seed = static_cast<std::uint64_t>(ParseIntArg(next(), "--seed"));
+    } else {
+      Usage(("unknown explore option " + a).c_str());
+    }
+  }
+
+  try {
+    const runner::ExploreReport report = runner::RunExplore(options);
+    // Supervision notes (journal warnings, retries, breaker trips) go
+    // to stderr; the stdout report must stay byte-identical across
+    // clean, resumed, and chaos runs.
+    for (const Diagnostic& d : report.notes) PrintDiagnostic("explore", d);
+    std::printf("%s", report.Render().c_str());
+    return report.degraded() + report.failed() > 0 ? 1 : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 1;
+  }
+}
+
+constexpr const char* kVerbs[] = {"lint", "explore"};
+
+// Levenshtein distance, for the unknown-verb hint.
+std::size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+// A bare word that names no existing file is a mistyped verb, not an
+// input: report it as a usage error with a hint instead of falling
+// through to the file pipeline's "cannot open" path.
+[[noreturn]] void UnknownVerb(const std::string& word) {
+  std::string hint;
+  std::size_t best = 3;  // suggest only close matches
+  for (const char* verb : kVerbs) {
+    const std::size_t d = EditDistance(word, verb);
+    if (d < best) {
+      best = d;
+      hint = verb;
+    }
+  }
+  std::fprintf(stderr, "error: unknown verb '%s'", word.c_str());
+  if (!hint.empty()) std::fprintf(stderr, " — did you mean '%s'?", hint.c_str());
+  std::fprintf(stderr, "\nknown verbs:");
+  for (const char* verb : kVerbs) std::fprintf(stderr, " %s", verb);
+  std::fprintf(stderr, "; or pass a FILE.lp to run the partitioning pipeline\n");
+  std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) Usage();
   if (std::strcmp(argv[1], "lint") == 0) return RunLint(argc - 1, argv + 1);
+  if (std::strcmp(argv[1], "explore") == 0) return RunExplore(argc - 1, argv + 1);
   const std::string path = argv[1];
+  // Distinguish a mistyped verb from a missing input file: a bare word
+  // (no path separator, no extension) that doesn't exist on disk gets
+  // the did-you-mean treatment and the usage exit code.
+  if (!path.empty() && path[0] != '-' &&
+      path.find('/') == std::string::npos && path.find('.') == std::string::npos &&
+      !std::ifstream(path).good()) {
+    UnknownVerb(path);
+  }
 
   std::string entry = "main";
   std::vector<std::int64_t> args;
