@@ -17,27 +17,33 @@ struct Arm {
   bool fired = false;
 };
 
-struct State {
-  std::mutex mu;
+// One spec's worth of arms and counters. The global table is shared
+// (mutex-protected); a JobScope owns a private, thread-local one.
+struct SiteTable {
   std::string spec;
   std::unordered_map<std::string, Arm> arms;
   std::unordered_map<std::string, std::uint64_t> hits;
 };
 
-State& GetState() {
-  static State* s = new State();
+struct GlobalState {
+  std::mutex mu;
+  SiteTable table;
+};
+
+GlobalState& GetState() {
+  static GlobalState* s = new GlobalState();
   return *s;
 }
 
 std::atomic<bool> g_enabled{false};
 std::once_flag g_env_once;
 
-// Parses "site[:N],site[:N],..." into the arm table. Malformed entries
+// Parses "site[:N],site[:N],..." into a fresh table. Malformed entries
 // are ignored (fault injection must never take the process down).
-void InstallLocked(State& st, const std::string& spec) {
-  st.spec = spec;
-  st.arms.clear();
-  st.hits.clear();
+void InstallInto(SiteTable& table, const std::string& spec) {
+  table.spec = spec;
+  table.arms.clear();
+  table.hits.clear();
   std::stringstream ss(spec);
   std::string entry;
   while (std::getline(ss, entry, ',')) {
@@ -54,34 +60,61 @@ void InstallLocked(State& st, const std::string& spec) {
       arm.nth = v;
     }
     if (site.empty()) continue;
-    st.arms[site] = arm;
+    table.arms[site] = arm;
   }
-  g_enabled.store(!st.arms.empty(), std::memory_order_release);
+}
+
+// Records the hit and throws if `site` is armed for it. The caller
+// owns whatever synchronization the table needs.
+void InjectFrom(SiteTable& table, const char* site) {
+  const std::uint64_t hit = ++table.hits[site];
+  auto it = table.arms.find(site);
+  if (it == table.arms.end()) return;
+  Arm& arm = it->second;
+  if (arm.nth != 0 && (arm.fired || hit != arm.nth)) return;
+  arm.fired = true;
+  std::ostringstream os;
+  os << "injected fault at site '" << site << "' (hit " << hit << ")";
+  throw InjectedFault(os.str());
 }
 
 void EnsureEnvLoaded() {
   std::call_once(g_env_once, [] {
     const char* env = std::getenv("LOPASS_FAULT_INJECT");
     if (env != nullptr && *env != '\0') {
-      State& st = GetState();
+      GlobalState& st = GetState();
       std::lock_guard<std::mutex> lock(st.mu);
-      InstallLocked(st, env);
+      InstallInto(st.table, env);
+      g_enabled.store(!st.table.arms.empty(), std::memory_order_release);
     }
   });
 }
 
 }  // namespace
 
+// The active thread-local scope, if any (innermost when nested). Plain
+// pointer: each thread reads and writes only its own copy.
+struct JobScope::State {
+  SiteTable table;
+  State* previous = nullptr;
+};
+
+namespace {
+thread_local JobScope::State* t_scope = nullptr;
+}  // namespace
+
 bool Enabled() {
+  if (const JobScope::State* sc = t_scope) return !sc->table.arms.empty();
   EnsureEnvLoaded();
   return g_enabled.load(std::memory_order_acquire);
 }
 
 std::string CurrentSpec() {
+  if (const JobScope::State* sc = t_scope) return sc->table.spec;
   EnsureEnvLoaded();
-  State& st = GetState();
+  GlobalState& st = GetState();
   std::lock_guard<std::mutex> lock(st.mu);
-  return st.spec;
+  return st.table.spec;
 }
 
 bool IsTransient(const std::exception& e) {
@@ -93,26 +126,23 @@ bool IsTransientMessage(const std::string& message) {
 }
 
 void MaybeInject(const char* site) {
+  if (JobScope::State* sc = t_scope) {
+    InjectFrom(sc->table, site);  // thread-local: no lock needed
+    return;
+  }
   EnsureEnvLoaded();
   if (!g_enabled.load(std::memory_order_acquire)) return;
-  State& st = GetState();
+  GlobalState& st = GetState();
   std::lock_guard<std::mutex> lock(st.mu);
-  const std::uint64_t hit = ++st.hits[site];
-  auto it = st.arms.find(site);
-  if (it == st.arms.end()) return;
-  Arm& arm = it->second;
-  if (arm.nth != 0 && (arm.fired || hit != arm.nth)) return;
-  arm.fired = true;
-  std::ostringstream os;
-  os << "injected fault at site '" << site << "' (hit " << hit << ")";
-  throw InjectedFault(os.str());
+  InjectFrom(st.table, site);
 }
 
 void SetSpec(const std::string& spec) {
   EnsureEnvLoaded();  // so a later ReloadFromEnv is well-defined
-  State& st = GetState();
+  GlobalState& st = GetState();
   std::lock_guard<std::mutex> lock(st.mu);
-  InstallLocked(st, spec);
+  InstallInto(st.table, spec);
+  g_enabled.store(!st.table.arms.empty(), std::memory_order_release);
 }
 
 void ReloadFromEnv() {
@@ -121,22 +151,34 @@ void ReloadFromEnv() {
 }
 
 std::uint64_t HitCount(const char* site) {
-  State& st = GetState();
+  if (const JobScope::State* sc = t_scope) {
+    auto it = sc->table.hits.find(site);
+    return it == sc->table.hits.end() ? 0 : it->second;
+  }
+  GlobalState& st = GetState();
   std::lock_guard<std::mutex> lock(st.mu);
-  auto it = st.hits.find(site);
-  return it == st.hits.end() ? 0 : it->second;
+  auto it = st.table.hits.find(site);
+  return it == st.table.hits.end() ? 0 : it->second;
 }
 
 ScopedSpec::ScopedSpec(const std::string& spec) {
   EnsureEnvLoaded();
   {
-    State& st = GetState();
+    GlobalState& st = GetState();
     std::lock_guard<std::mutex> lock(st.mu);
-    previous_ = st.spec;
+    previous_ = st.table.spec;
   }
   SetSpec(spec);
 }
 
 ScopedSpec::~ScopedSpec() { SetSpec(previous_); }
+
+JobScope::JobScope(const std::string& spec) : state_(new State()) {
+  InstallInto(state_->table, spec);
+  state_->previous = t_scope;
+  t_scope = state_.get();
+}
+
+JobScope::~JobScope() { t_scope = state_->previous; }
 
 }  // namespace lopass::fault

@@ -19,9 +19,18 @@
 //                                            simulator run fail
 //
 // With no spec installed MaybeInject is a single relaxed atomic load.
+//
+// Concurrency: the global spec (SetSpec / LOPASS_FAULT_INJECT) and its
+// hit counters are shared, mutex-protected state — safe to hit from
+// any thread, but one-shot `site:N` arms are then consumed in whatever
+// order threads reach them. Parallel drivers that need per-job
+// determinism install a JobScope instead: a thread-local arm table and
+// counter set that shadows the global spec on that thread only, so two
+// concurrent jobs can never observe (or consume) each other's faults.
 
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <string>
 
 #include "common/error.h"
@@ -75,6 +84,7 @@ void ReloadFromEnv();
 std::uint64_t HitCount(const char* site);
 
 // RAII spec installation for tests; restores the previous spec.
+// Global: every thread sees it, and counters are shared.
 class ScopedSpec {
  public:
   explicit ScopedSpec(const std::string& spec);
@@ -84,6 +94,28 @@ class ScopedSpec {
 
  private:
   std::string previous_;
+};
+
+// RAII thread-local fault scope for one parallel job. While alive,
+// MaybeInject / CurrentSpec / Enabled / HitCount on the constructing
+// thread use this scope's own arm table and hit counters exclusively;
+// the global spec and every other thread are untouched. One-shot
+// `site:N` arms therefore fire per job, never across jobs — the
+// property the parallel exploration runner's chaos mode depends on.
+// Scopes nest (the destructor restores the previous scope) and must be
+// created and destroyed on the same thread. SetSpec/ReloadFromEnv keep
+// addressing the global table even while a scope is active.
+class JobScope {
+ public:
+  explicit JobScope(const std::string& spec);
+  ~JobScope();
+  JobScope(const JobScope&) = delete;
+  JobScope& operator=(const JobScope&) = delete;
+
+  struct State;  // opaque; defined in fault.cc
+
+ private:
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace fault

@@ -8,9 +8,12 @@
 #include <iterator>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "apps/app.h"
 #include "common/cancel.h"
@@ -20,6 +23,7 @@
 #include "core/partitioner.h"
 #include "dsl/lower.h"
 #include "runner/journal.h"
+#include "runner/worker_pool.h"
 
 namespace lopass::runner {
 namespace {
@@ -101,7 +105,7 @@ std::string RecordJson(const JobResult& job) {
      << ",\"seed\":\"" << SeedHex(job.seed) << "\""
      << ",\"status\":\"" << StatusName(job.status) << "\""
      << ",\"attempts\":" << job.attempts
-     << ",\"fault_spec\":\"" << JsonEscape(fault::CurrentSpec()) << "\""
+     << ",\"fault_spec\":\"" << JsonEscape(job.fault_spec) << "\""
      << ",\"initial_j\":" << DoubleField(job.initial_energy_j)
      << ",\"partitioned_j\":" << DoubleField(job.partitioned_energy_j)
      << ",\"saving_pct\":" << DoubleField(job.saving_percent)
@@ -133,6 +137,7 @@ bool ParseRecord(const std::string& record, JobResult& job) {
   job.status = StatusFromName(*status);
   job.attempts = static_cast<int>(*attempts);
   job.replayed = true;
+  job.fault_spec = JsonStringField(record, "fault_spec").value_or("");
   job.initial_energy_j = *initial;
   job.partitioned_energy_j = *partitioned;
   job.saving_percent = *saving;
@@ -146,7 +151,8 @@ bool ParseRecord(const std::string& record, JobResult& job) {
 // LOPASS_EXPLORE_KILL_AFTER=N is set, the process kills itself (no
 // cleanup, no flush beyond the journal's own per-record flush) right
 // after the N-th journal append of this run. An honest crash, not a
-// simulated one.
+// simulated one — under --jobs it fires on the committer with workers
+// still evaluating in flight.
 void MaybeKillAfter(std::uint64_t appends) {
   static const std::int64_t kill_after = [] {
     const char* env = std::getenv("LOPASS_EXPLORE_KILL_AFTER");
@@ -155,6 +161,22 @@ void MaybeKillAfter(std::uint64_t appends) {
   if (kill_after >= 0 && appends >= static_cast<std::uint64_t>(kill_after)) {
     std::raise(SIGKILL);
   }
+}
+
+// Sleeps `ms` in small slices, giving up as soon as the job's token
+// fires. Returns false when the sleep was cut short by cancellation —
+// a retry must not overshoot its job's deadline just because the
+// backoff schedule said so.
+bool SleepWithCancel(const CancelToken* token, std::int64_t ms) {
+  constexpr std::int64_t kSliceMs = 5;
+  std::int64_t remaining = ms;
+  while (remaining > 0) {
+    if (token != nullptr && token->cancelled()) return false;
+    const std::int64_t slice = std::min(kSliceMs, remaining);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    remaining -= slice;
+  }
+  return token == nullptr || !token->cancelled();
 }
 
 struct Attempt {
@@ -167,16 +189,12 @@ struct Attempt {
 
 Attempt RunAttempt(const dsl::LoweredProgram& prog, const apps::Application& app,
                    const sched::ResourceSet& rs, std::uint64_t seed,
-                   std::int64_t deadline_ms, int scale) {
+                   CancelToken* token, int scale) {
   Attempt attempt;
   core::PartitionOptions options = app.options;
   options.resource_sets = {rs};
   options.prng_seed = seed;
-  CancelToken token;
-  if (deadline_ms > 0) {
-    token.SetDeadlineAfterMs(deadline_ms);
-    options.cancel = &token;
-  }
+  options.cancel = token;
   try {
     core::Partitioner partitioner(prog.module, prog.regions, options);
     attempt.result = partitioner.Run(app.workload(scale));
@@ -219,6 +237,179 @@ void FillFromResult(JobResult& job, const core::PartitionResult& result,
     ++job.errors;
   }
   job.status = job.errors > 0 ? JobStatus::kDegraded : JobStatus::kOk;
+}
+
+// One queue entry: application × one of its designer resource sets.
+// Pointers reach into the `apps` vector, which outlives the sweep.
+struct JobSpec {
+  const apps::Application* app = nullptr;
+  const sched::ResourceSet* rs = nullptr;
+  std::string key;  // "app/resource-set", the journal identity
+};
+
+// Everything one job hands back to the committer.
+struct Completion {
+  JobResult job;
+  std::vector<Diagnostic> notes;
+};
+
+// Compiles each application once, shared across workers. Concurrent
+// Get()s serialize on the mutex (compiles are cheap next to the
+// partitioning flow); map nodes keep the returned pointers stable.
+class CompileCache {
+ public:
+  // Returns the compiled program, or nullptr with `error` set when the
+  // compile failed — every job of that app records the same permanent
+  // failure.
+  const dsl::LoweredProgram* Get(const apps::Application& app, std::string* error) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(app.name);
+    if (it == entries_.end()) {
+      Entry entry;
+      try {
+        entry.program.emplace(dsl::Compile(app.dsl_source));
+      } catch (const Error& e) {
+        entry.error = e.what();
+      }
+      it = entries_.emplace(app.name, std::move(entry)).first;
+    }
+    if (!it->second.program.has_value()) {
+      *error = it->second.error;
+      return nullptr;
+    }
+    return &*it->second.program;
+  }
+
+ private:
+  struct Entry {
+    std::optional<dsl::LoweredProgram> program;
+    std::string error;
+  };
+  std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+// Runs one job end to end: compile lookup, chaos scope, the
+// attempt/retry/breaker loop under the job's own deadline token.
+// Called concurrently from workers; touches no shared mutable state
+// beyond the (locked) compile cache and, without chaos, the global
+// fault table.
+Completion EvaluateJob(const JobSpec& spec, const ExploreOptions& options,
+                       CompileCache& compiled, int scale) {
+  Completion c;
+  JobResult& job = c.job;
+  job.app = spec.app->name;
+  job.resource_set = spec.rs->name;
+  job.seed = options.base_seed ^ Fnv1a(spec.key);
+
+  // A compile failure is permanent by construction — it happens once
+  // per app, outside the attempt loop, and every job of the app is
+  // recorded failed without sinking the sweep.
+  std::string compile_error;
+  const dsl::LoweredProgram* prog = compiled.Get(*spec.app, &compile_error);
+  if (prog == nullptr) {
+    job.attempts = 1;
+    job.status = JobStatus::kFailed;
+    job.errors = 1;
+    job.detail = compile_error;
+    job.fault_spec = fault::CurrentSpec();
+    c.notes.push_back(Diagnostic{
+        Severity::kWarning, "runner.breaker", SourceLoc{},
+        "job '" + spec.key + "': compile failed, circuit breaker open: " +
+            compile_error});
+    return c;
+  }
+
+  // Chaos faults compose with any operator-supplied spec inside a
+  // thread-local JobScope, installed once per *job*: a one-shot arm
+  // consumed by attempt 1 must stay disarmed for the retries, and a
+  // concurrent job on another worker must never see (or consume) it.
+  const std::string chaos_spec =
+      options.chaos ? ChaosSpec(options.chaos_seed, spec.key) : std::string();
+  std::unique_ptr<fault::JobScope> scoped;
+  if (!chaos_spec.empty()) {
+    scoped = std::make_unique<fault::JobScope>(
+        ComposeSpec(fault::CurrentSpec(), chaos_spec));
+    c.notes.push_back(Diagnostic{
+        Severity::kNote, "runner.chaos", SourceLoc{},
+        "job '" + spec.key + "': chaos fault schedule '" + chaos_spec + "'"});
+  }
+  job.fault_spec = fault::CurrentSpec();
+
+  // One deadline for the whole job: every attempt and every backoff
+  // sleep runs under the same token.
+  CancelToken token;
+  CancelToken* token_ptr = nullptr;
+  if (options.deadline_ms > 0) {
+    token.SetDeadlineAfterMs(options.deadline_ms);
+    token_ptr = &token;
+  }
+
+  Prng backoff_rng(job.seed);
+  const int max_attempts = std::max(1, options.retry.max_attempts);
+  bool recorded = false;
+  std::string last_error;
+  for (int attempt_no = 1; attempt_no <= max_attempts; ++attempt_no) {
+    job.attempts = attempt_no;
+    Attempt attempt = RunAttempt(*prog, *spec.app, *spec.rs, job.seed, token_ptr, scale);
+
+    if (!attempt.threw) {
+      if (DegradedOnlyTransiently(attempt.result) && attempt_no < max_attempts) {
+        c.notes.push_back(Diagnostic{
+            Severity::kNote, "runner.retry", SourceLoc{},
+            "job '" + spec.key + "' attempt " + std::to_string(attempt_no) +
+                " degraded by a transient fault; retrying"});
+      } else {
+        FillFromResult(job, attempt.result, spec.app->name);
+        recorded = true;
+        break;
+      }
+    } else {
+      last_error = attempt.error;
+      if (attempt.cancelled || !attempt.transient) {
+        // Circuit breaker: permanent failure (deadline or a real
+        // error) — retrying would burn the budget on a rerun that
+        // fails identically.
+        c.notes.push_back(Diagnostic{
+            Severity::kWarning, "runner.breaker", SourceLoc{},
+            "job '" + spec.key + "': permanent failure, circuit breaker open: " +
+                attempt.error});
+        break;
+      }
+      if (attempt_no == max_attempts) break;  // retries exhausted
+      c.notes.push_back(Diagnostic{
+          Severity::kNote, "runner.retry", SourceLoc{},
+          "job '" + spec.key + "' attempt " + std::to_string(attempt_no) +
+              " hit a transient fault; retrying: " + attempt.error});
+    }
+
+    if (options.retry.base_ms > 0) {
+      const std::int64_t shifted =
+          attempt_no >= 62 ? options.retry.max_ms
+                           : options.retry.base_ms << (attempt_no - 1);
+      const std::int64_t backoff = std::min(options.retry.max_ms, shifted) +
+                                   static_cast<std::int64_t>(backoff_rng.next_below(
+                                       static_cast<std::uint64_t>(options.retry.base_ms)));
+      if (!SleepWithCancel(token_ptr, backoff)) {
+        last_error = "deadline exceeded during retry backoff";
+        c.notes.push_back(Diagnostic{
+            Severity::kWarning, "runner.breaker", SourceLoc{},
+            "job '" + spec.key +
+                "': deadline exceeded during retry backoff, circuit breaker open"});
+        break;
+      }
+    }
+  }
+
+  if (!recorded) {
+    // The job threw on every permitted attempt: degrade to the
+    // all-software answer space — there is no result to report, so
+    // it is recorded failed with the last error for the operator.
+    job.status = JobStatus::kFailed;
+    job.errors = 1;
+    job.detail = last_error;
+  }
+  return c;
 }
 
 }  // namespace
@@ -301,129 +492,65 @@ ExploreReport RunExplore(const ExploreOptions& options) {
                                               /*truncate=*/!options.resume);
   }
 
-  const int scale = options.scale > 0 ? options.scale : 1;
-  std::map<std::string, dsl::LoweredProgram> compiled;  // one compile per app
-
+  std::vector<JobSpec> queue;
   for (const apps::Application& app : apps) {
     for (const sched::ResourceSet& rs : app.options.resource_sets) {
-      const std::string key = app.name + "/" + rs.name;
-
-      const auto hit = replayed.find(key);
-      if (hit != replayed.end()) {
-        report.jobs.push_back(hit->second);
-        continue;
-      }
-
-      JobResult job;
-      job.app = app.name;
-      job.resource_set = rs.name;
-      job.seed = options.base_seed ^ Fnv1a(key);
-
-      // Compile once per app, but never let a compile failure (e.g. an
-      // armed parse fault site) sink the whole sweep: the job is
-      // recorded failed — compile runs outside the attempt loop, so it
-      // is permanent by construction — and the queue moves on.
-      if (compiled.count(app.name) == 0) {
-        try {
-          compiled.emplace(app.name, dsl::Compile(app.dsl_source));
-        } catch (const Error& e) {
-          job.attempts = 1;
-          job.status = JobStatus::kFailed;
-          job.errors = 1;
-          job.detail = e.what();
-          report.notes.push_back(Diagnostic{
-              Severity::kWarning, "runner.breaker", SourceLoc{},
-              "job '" + key + "': compile failed, circuit breaker open: " + e.what()});
-          report.jobs.push_back(job);
-          if (journal != nullptr) {
-            journal->Append(RecordJson(report.jobs.back()));
-            MaybeKillAfter(journal->lines_written());
-          }
-          continue;
-        }
-      }
-      const dsl::LoweredProgram& prog = compiled.at(app.name);
-
-      // Chaos faults compose with any operator-supplied spec, and are
-      // installed once per *job* — a one-shot arm consumed by attempt 1
-      // must stay disarmed for the retries.
-      const std::string chaos_spec =
-          options.chaos ? ChaosSpec(options.chaos_seed, key) : std::string();
-      std::unique_ptr<fault::ScopedSpec> scoped;
-      if (!chaos_spec.empty()) {
-        scoped = std::make_unique<fault::ScopedSpec>(
-            ComposeSpec(fault::CurrentSpec(), chaos_spec));
-        report.notes.push_back(Diagnostic{
-            Severity::kNote, "runner.chaos", SourceLoc{},
-            "job '" + key + "': chaos fault schedule '" + chaos_spec + "'"});
-      }
-
-      Prng backoff_rng(job.seed);
-      const int max_attempts = std::max(1, options.retry.max_attempts);
-      bool recorded = false;
-      std::string last_error;
-      for (int attempt_no = 1; attempt_no <= max_attempts; ++attempt_no) {
-        job.attempts = attempt_no;
-        Attempt attempt = RunAttempt(prog, app, rs, job.seed, options.deadline_ms, scale);
-
-        if (!attempt.threw) {
-          if (DegradedOnlyTransiently(attempt.result) && attempt_no < max_attempts) {
-            report.notes.push_back(Diagnostic{
-                Severity::kNote, "runner.retry", SourceLoc{},
-                "job '" + key + "' attempt " + std::to_string(attempt_no) +
-                    " degraded by a transient fault; retrying"});
-          } else {
-            FillFromResult(job, attempt.result, app.name);
-            recorded = true;
-            break;
-          }
-        } else {
-          last_error = attempt.error;
-          if (attempt.cancelled || !attempt.transient) {
-            // Circuit breaker: permanent failure (deadline or a real
-            // error) — retrying would burn the budget on a rerun that
-            // fails identically.
-            report.notes.push_back(Diagnostic{
-                Severity::kWarning, "runner.breaker", SourceLoc{},
-                "job '" + key + "': permanent failure, circuit breaker open: " +
-                    attempt.error});
-            break;
-          }
-          if (attempt_no == max_attempts) break;  // retries exhausted
-          report.notes.push_back(Diagnostic{
-              Severity::kNote, "runner.retry", SourceLoc{},
-              "job '" + key + "' attempt " + std::to_string(attempt_no) +
-                  " hit a transient fault; retrying: " + attempt.error});
-        }
-
-        if (options.retry.base_ms > 0) {
-          const std::int64_t shifted =
-              attempt_no >= 62 ? options.retry.max_ms
-                               : options.retry.base_ms << (attempt_no - 1);
-          const std::int64_t backoff = std::min(options.retry.max_ms, shifted) +
-                                       static_cast<std::int64_t>(backoff_rng.next_below(
-                                           static_cast<std::uint64_t>(options.retry.base_ms)));
-          std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
-        }
-      }
-
-      if (!recorded) {
-        // The job threw on every permitted attempt: degrade to the
-        // all-software answer space — there is no result to report, so
-        // it is recorded failed with the last error for the operator.
-        job.status = JobStatus::kFailed;
-        job.errors = 1;
-        job.detail = last_error;
-      }
-
-      report.jobs.push_back(job);
-      if (journal != nullptr) {
-        journal->Append(RecordJson(report.jobs.back()));
-        MaybeKillAfter(journal->lines_written());
-      }
+      queue.push_back(JobSpec{&app, &rs, app.name + "/" + rs.name});
     }
   }
 
+  const int scale = options.scale > 0 ? options.scale : 1;
+  CompileCache compiled;
+
+  // The commit path — the single place order-sensitive effects happen,
+  // always in job-queue order: append the report row and notes, write
+  // the journal line (replayed jobs are already in the file), and give
+  // the crash-test kill switch its deterministic trigger point.
+  const auto commit = [&](std::size_t, Completion&& done) {
+    report.jobs.push_back(std::move(done.job));
+    for (Diagnostic& d : done.notes) report.notes.push_back(std::move(d));
+    if (journal != nullptr && !report.jobs.back().replayed) {
+      journal->Append(RecordJson(report.jobs.back()));
+      MaybeKillAfter(journal->lines_written());
+    }
+  };
+
+  // Replay hits are resolved without a worker; the map is read-only
+  // from here on, so workers may consult it concurrently.
+  const auto resolve = [&](const JobSpec& spec) -> Completion {
+    const auto hit = replayed.find(spec.key);
+    if (hit != replayed.end()) return Completion{hit->second, {}};
+    return EvaluateJob(spec, options, compiled, scale);
+  };
+
+  if (options.jobs <= 1) {
+    // Sequential: evaluate and commit in queue order on this thread.
+    for (const JobSpec& spec : queue) commit(0, resolve(spec));
+    return report;
+  }
+
+  // Parallel: workers evaluate out of order and push completions into
+  // the bounded queue; this thread is the single consumer, merging them
+  // back into queue order before committing. Everything the workers
+  // share — the compile cache, the fault tables, the journal — is
+  // internally synchronized; the report is touched only here.
+  struct Indexed {
+    std::size_t index = 0;
+    Completion completion;
+  };
+  const int workers = std::min(options.jobs, static_cast<int>(queue.size()));
+  BoundedMpscQueue<Indexed> completions(2 * static_cast<std::size_t>(workers));
+  WorkerPool pool(workers, queue.size(), [&](std::size_t index) {
+    completions.Push(Indexed{index, resolve(queue[index])});
+  });
+
+  OrderedMerger<Completion> merger;
+  for (std::size_t received = 0; received < queue.size(); ++received) {
+    Indexed done;
+    if (!completions.Pop(done)) break;  // unreachable: queue never closes early
+    merger.Add(done.index, std::move(done.completion), commit);
+  }
+  pool.Join();
   return report;
 }
 

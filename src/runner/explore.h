@@ -12,9 +12,11 @@
 //    is flushed per record, so `--resume` after a SIGKILL replays the
 //    committed prefix and re-runs only the rest, producing a report
 //    byte-identical to an uninterrupted run;
-//  - each job gets a wall-clock deadline enforced cooperatively via
+//  - each job gets one wall-clock deadline spanning every attempt
+//    *and* the backoff sleeps between them, enforced cooperatively via
 //    CancelToken (common/cancel.h), threaded through the partitioner
-//    and both schedulers;
+//    and both schedulers — a retry can never overshoot its job's
+//    deadline by sleeping;
 //  - failures classified transient by common/fault (injected faults)
 //    are retried with exponential backoff + deterministic jitter; a
 //    job that keeps failing trips the circuit breaker and is recorded
@@ -25,6 +27,20 @@
 //    and asserts the supervised run still converges — because every
 //    chaos fault is one-shot and transient, the retried sweep must
 //    produce the same report as a clean run.
+//
+// With --jobs N > 1 the queue is drained by a pool of N worker threads
+// (runner/worker_pool.h). Each worker evaluates whole jobs — own PRNG
+// seed, own CancelToken deadline, own retry/breaker state, and (under
+// chaos) its own thread-local fault::JobScope, so concurrent jobs can
+// never observe each other's injected faults. Completions flow through
+// a bounded MPSC queue to a single committer that journals and reports
+// them in job-queue order (OrderedMerger): the report, the journal
+// bytes, and the committed prefix a later --resume replays are all
+// byte-identical to a 1-worker run, regardless of completion order.
+// The one semantic caveat: a *global* fault spec (LOPASS_FAULT_INJECT /
+// SetSpec) with one-shot site:N arms is consumed in completion order
+// under parallelism, which is inherently nondeterministic — per-job
+// chaos schedules do not have this problem.
 //
 // All evaluations are deterministic (fixed per-job PRNG seeds, no
 // wall-clock in any recorded field), which is what makes byte-identical
@@ -57,7 +73,12 @@ struct ExploreOptions {
   std::vector<std::string> apps;
   // Workload scale; <= 0 uses each app's test-friendly scale 1.
   int scale = 1;
-  // Per-job wall-clock deadline; <= 0 disables.
+  // Worker threads draining the job queue; values < 1 mean 1
+  // (sequential). The report and journal are byte-identical for every
+  // value.
+  int jobs = 1;
+  // Per-job wall-clock deadline covering all attempts and the backoff
+  // sleeps between them; <= 0 disables.
   std::int64_t deadline_ms = 0;
   RetryPolicy retry;
   // Chaos mode: derive a randomized one-shot fault schedule per job.
@@ -78,6 +99,9 @@ struct JobResult {
   JobStatus status = JobStatus::kFailed;
   int attempts = 0;
   bool replayed = false;  // satisfied from the journal on resume
+  // Fault spec live while the job ran (its JobScope's composed spec
+  // under chaos), captured on the evaluating thread for the journal.
+  std::string fault_spec;
   // Objective-function inputs / Table-1 metrics of the evaluation.
   double initial_energy_j = 0.0;
   double partitioned_energy_j = 0.0;

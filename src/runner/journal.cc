@@ -168,11 +168,12 @@ JournalWriter::~JournalWriter() {
 
 void JournalWriter::Append(const std::string& record_json) {
   const std::string line = WrapRecord(record_json) + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
       std::fflush(file_) != 0) {
     throw Error("cannot append to journal '" + path_ + "': " + std::strerror(errno));
   }
-  ++lines_written_;
+  lines_written_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 JournalLoad LoadJournal(const std::string& path) {

@@ -21,7 +21,9 @@
 // runner writes (string/int/double fields, no nesting inside records)
 // live here so writer and reader stay in one place.
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -46,6 +48,13 @@ std::optional<std::int64_t> JsonIntField(std::string_view record, std::string_vi
 // Appends checksummed records to a journal file, flushing after every
 // line. Throws lopass::Error if the file cannot be opened or written —
 // losing the journal silently would defeat its purpose.
+//
+// Append is thread-safe: a mutex serializes the write+flush pair, so
+// concurrent producers can never interleave bytes of two lines. (The
+// parallel exploration runner still funnels every record through one
+// committer thread for deterministic ordering; the lock is the safety
+// net that keeps even a misuse from corrupting the journal, and what
+// the concurrent-producer fuzz test hammers.)
 class JournalWriter {
  public:
   // `truncate` starts a fresh journal; otherwise appends to what is
@@ -58,12 +67,15 @@ class JournalWriter {
   // `record_json` must be one serialized JSON object without newlines.
   void Append(const std::string& record_json);
 
-  std::uint64_t lines_written() const { return lines_written_; }
+  std::uint64_t lines_written() const {
+    return lines_written_.load(std::memory_order_acquire);
+  }
 
  private:
+  std::mutex mu_;
   std::FILE* file_ = nullptr;
   std::string path_;
-  std::uint64_t lines_written_ = 0;
+  std::atomic<std::uint64_t> lines_written_{0};
 };
 
 struct JournalLoad {

@@ -1,31 +1,42 @@
 # End-to-end crash/chaos contract for `lopass_cli explore`, on the real
 # binary:
 #
-#   MODE=kill_resume  arm LOPASS_EXPLORE_KILL_AFTER so the process
-#                     SIGKILLs itself after N journal appends, then
-#                     resume from the journal and require the resumed
-#                     report to be byte-identical to an uninterrupted
-#                     run's.
-#   MODE=chaos        run under a randomized one-shot fault schedule
-#                     (--chaos SEED) and require exit 0 and a report
-#                     byte-identical to the clean run's.
+#   MODE=kill_resume    arm LOPASS_EXPLORE_KILL_AFTER so the process
+#                       SIGKILLs itself after N journal appends, then
+#                       resume from the journal and require the resumed
+#                       report to be byte-identical to an uninterrupted
+#                       run's.
+#   MODE=chaos          run under a randomized one-shot fault schedule
+#                       (--chaos SEED) and require exit 0 and a report
+#                       byte-identical to the clean run's.
+#   MODE=jobs_identity  run the sweep with --jobs 1 and --jobs ${JOBS},
+#                       both journaled, and require stdout AND journal
+#                       bytes to be identical — the parallel runner's
+#                       determinism contract on the real binary.
 #
 # Arguments (via -D):
 #   CLI           path to the lopass_cli binary
-#   MODE          kill_resume | chaos
+#   MODE          kill_resume | chaos | jobs_identity
 #   WORKDIR       scratch directory for journals and captured reports
 #   APPS          --apps value for the sweep
+#   JOBS          worker count for the non-reference runs (default 1);
+#                 the clean reference always runs sequentially, so
+#                 kill_resume/chaos with JOBS>1 also prove the parallel
+#                 runs match the sequential report byte-for-byte
 #   KILL_AFTER    (kill_resume) append count before the self-SIGKILL
 #   CHAOS_SEED    (chaos) seed for the fault schedule
 
 if(NOT DEFINED CLI OR NOT DEFINED MODE OR NOT DEFINED WORKDIR OR NOT DEFINED APPS)
   message(FATAL_ERROR "explore_check.cmake needs -DCLI, -DMODE, -DWORKDIR, -DAPPS")
 endif()
+if(NOT DEFINED JOBS)
+  set(JOBS 1)
+endif()
 
 file(MAKE_DIRECTORY "${WORKDIR}")
 set(ENV{LOPASS_FAULT_INJECT} "")
 
-# The uninterrupted reference sweep.
+# The uninterrupted sequential reference sweep.
 execute_process(
   COMMAND ${CLI} explore --apps ${APPS}
   RESULT_VARIABLE clean_rc
@@ -43,10 +54,11 @@ if(MODE STREQUAL "kill_resume")
   set(journal "${WORKDIR}/kill_resume.jsonl")
   file(REMOVE "${journal}")
 
-  # Crash the sweep for real: SIGKILL after N committed records.
+  # Crash the sweep for real: SIGKILL after N committed records, with
+  # ${JOBS} workers in flight.
   set(ENV{LOPASS_EXPLORE_KILL_AFTER} "${KILL_AFTER}")
   execute_process(
-    COMMAND ${CLI} explore --apps ${APPS} --journal ${journal}
+    COMMAND ${CLI} explore --apps ${APPS} --journal ${journal} --jobs ${JOBS}
     RESULT_VARIABLE kill_rc
     OUTPUT_VARIABLE kill_out
     ERROR_VARIABLE kill_err
@@ -63,7 +75,7 @@ if(MODE STREQUAL "kill_resume")
 
   # Resume: replay the committed prefix, run the rest.
   execute_process(
-    COMMAND ${CLI} explore --apps ${APPS} --resume ${journal}
+    COMMAND ${CLI} explore --apps ${APPS} --resume ${journal} --jobs ${JOBS}
     RESULT_VARIABLE resume_rc
     OUTPUT_VARIABLE resume_out
     ERROR_VARIABLE resume_err
@@ -82,6 +94,7 @@ elseif(MODE STREQUAL "chaos")
   endif()
   execute_process(
     COMMAND ${CLI} explore --apps ${APPS} --chaos ${CHAOS_SEED} --retries 4
+            --jobs ${JOBS}
     RESULT_VARIABLE chaos_rc
     OUTPUT_VARIABLE chaos_out
     ERROR_VARIABLE chaos_err
@@ -93,6 +106,42 @@ elseif(MODE STREQUAL "chaos")
     message(FATAL_ERROR
       "chaos report is not byte-identical to the clean run (seed ${CHAOS_SEED})\n"
       "--- clean ---\n${clean_out}\n--- chaos ---\n${chaos_out}")
+  endif()
+elseif(MODE STREQUAL "jobs_identity")
+  set(journal_seq "${WORKDIR}/identity_seq.jsonl")
+  set(journal_par "${WORKDIR}/identity_par.jsonl")
+  file(REMOVE "${journal_seq}" "${journal_par}")
+
+  execute_process(
+    COMMAND ${CLI} explore --apps ${APPS} --journal ${journal_seq} --jobs 1
+    RESULT_VARIABLE seq_rc
+    OUTPUT_VARIABLE seq_out
+    ERROR_VARIABLE seq_err
+  )
+  if(NOT seq_rc STREQUAL "0")
+    message(FATAL_ERROR "sequential journaled run failed (rc=${seq_rc})\n${seq_err}")
+  endif()
+  execute_process(
+    COMMAND ${CLI} explore --apps ${APPS} --journal ${journal_par} --jobs ${JOBS}
+    RESULT_VARIABLE par_rc
+    OUTPUT_VARIABLE par_out
+    ERROR_VARIABLE par_err
+  )
+  if(NOT par_rc STREQUAL "0")
+    message(FATAL_ERROR
+      "--jobs ${JOBS} journaled run failed (rc=${par_rc})\n${par_err}")
+  endif()
+  if(NOT par_out STREQUAL seq_out)
+    message(FATAL_ERROR
+      "--jobs ${JOBS} report is not byte-identical to --jobs 1\n"
+      "--- jobs 1 ---\n${seq_out}\n--- jobs ${JOBS} ---\n${par_out}")
+  endif()
+  file(READ "${journal_seq}" seq_journal)
+  file(READ "${journal_par}" par_journal)
+  if(NOT par_journal STREQUAL seq_journal)
+    message(FATAL_ERROR
+      "--jobs ${JOBS} journal is not byte-identical to --jobs 1\n"
+      "--- jobs 1 ---\n${seq_journal}\n--- jobs ${JOBS} ---\n${par_journal}")
   endif()
 else()
   message(FATAL_ERROR "unknown MODE '${MODE}'")

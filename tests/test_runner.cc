@@ -7,14 +7,17 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/cancel.h"
 #include "common/fault.h"
+#include "common/prng.h"
 #include "runner/explore.h"
 #include "runner/journal.h"
 
@@ -111,6 +114,136 @@ TEST(JournalTest, FieldExtraction) {
   EXPECT_EQ(JsonIntField(rec, "errors").value(), 3);
   EXPECT_FALSE(JsonStringField(rec, "missing").has_value());
   EXPECT_FALSE(JsonIntField(rec, "app").has_value());
+}
+
+// --- journal property tests (seeded fuzz) -----------------------------
+
+// Random printable record payloads: flat JSON-ish strings with no
+// newline (the one shape constraint Append demands).
+std::string RandomPayload(Prng& prng) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      " {}[]:,.\"\\_-+";
+  const std::size_t length = 1 + prng.next_below(60);
+  std::string payload = "{\"p\":\"";
+  for (std::size_t i = 0; i < length; ++i) {
+    char c = kAlphabet[prng.next_below(sizeof(kAlphabet) - 1)];
+    if (c == '"' || c == '\\') c = 'x';  // keep the wrapper parseable
+    payload.push_back(c);
+  }
+  payload += "\"}";
+  return payload;
+}
+
+TEST(JournalPropertyTest, RandomBatchesRoundTripExactly) {
+  const std::string path = TempPath("journal_prop_roundtrip.jsonl");
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Prng prng(seed);
+    const std::size_t count = 1 + prng.next_below(40);
+    std::vector<std::string> written;
+    written.reserve(count);
+    {
+      JournalWriter writer(path, /*truncate=*/true);
+      for (std::size_t i = 0; i < count; ++i) {
+        written.push_back(RandomPayload(prng));
+        writer.Append(written.back());
+      }
+      EXPECT_EQ(writer.lines_written(), count);
+    }
+    const JournalLoad load = LoadJournal(path);
+    EXPECT_TRUE(load.warnings.empty()) << "seed " << seed;
+    ASSERT_EQ(load.records.size(), count) << "seed " << seed;
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(load.records[i], written[i]) << "seed " << seed << " record " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalPropertyTest, RandomTruncationRecoversExactlyTheIntactPrefix) {
+  // For any cut point, the reader must return precisely the records
+  // whose full line (terminating newline included) survived, warn once
+  // iff the cut tore a line, and never throw.
+  const std::string path = TempPath("journal_prop_truncate.jsonl");
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Prng prng(seed ^ 0xdecafbadull);
+    const std::size_t count = 1 + prng.next_below(12);
+    std::vector<std::string> written;
+    std::vector<std::size_t> line_end;  // offset one past each '\n'
+    std::string content;
+    for (std::size_t i = 0; i < count; ++i) {
+      written.push_back(RandomPayload(prng));
+      content += WrapRecord(written.back()) + "\n";
+      line_end.push_back(content.size());
+    }
+    const std::size_t cut = prng.next_below(content.size() + 1);
+    WriteFile(path, content.substr(0, cut));
+
+    std::size_t intact = 0;
+    while (intact < count && line_end[intact] <= cut) ++intact;
+    const bool torn =
+        cut != 0 && cut != (intact == 0 ? std::size_t{0} : line_end[intact - 1]);
+
+    const JournalLoad load = LoadJournal(path);
+    ASSERT_EQ(load.records.size(), intact) << "seed " << seed << " cut " << cut;
+    for (std::size_t i = 0; i < intact; ++i) {
+      EXPECT_EQ(load.records[i], written[i]) << "seed " << seed;
+    }
+    EXPECT_EQ(load.warnings.size(), torn ? 1u : 0u)
+        << "seed " << seed << " cut " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalPropertyTest, SingleBitFlipsNeverCorruptOtherLines) {
+  // Flip one bit in a random subset of lines (never creating or
+  // destroying a newline): every untouched record must load intact and
+  // in order, every flipped line must produce exactly one warning.
+  const std::string path = TempPath("journal_prop_bitflip.jsonl");
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Prng prng(seed ^ 0xb17f11b5ull);
+    const std::size_t count = 2 + prng.next_below(10);
+    std::vector<std::string> written;
+    std::vector<std::string> lines;
+    for (std::size_t i = 0; i < count; ++i) {
+      written.push_back(RandomPayload(prng));
+      lines.push_back(WrapRecord(written.back()));
+    }
+
+    std::vector<bool> flipped(count, false);
+    std::string content;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string line = lines[i];
+      if (prng.next_below(2) == 1) {
+        // Re-draw until the flip neither hits nor produces 0x0a.
+        for (;;) {
+          const std::size_t at = prng.next_below(line.size());
+          const char mutated =
+              static_cast<char>(line[at] ^ (1 << prng.next_below(8)));
+          if (mutated == '\n' || line[at] == '\n') continue;
+          line[at] = mutated;
+          break;
+        }
+        flipped[i] = true;
+      }
+      content += line + "\n";
+    }
+    WriteFile(path, content);
+
+    const JournalLoad load = LoadJournal(path);
+    std::size_t expected_intact = 0, expected_warnings = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      (flipped[i] ? expected_warnings : expected_intact)++;
+    }
+    EXPECT_EQ(load.warnings.size(), expected_warnings) << "seed " << seed;
+    ASSERT_EQ(load.records.size(), expected_intact) << "seed " << seed;
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (flipped[i]) continue;
+      EXPECT_EQ(load.records[at++], written[i]) << "seed " << seed << " line " << i;
+    }
+  }
+  std::remove(path.c_str());
 }
 
 // --- cancellation -----------------------------------------------------
@@ -247,6 +380,41 @@ TEST(ExploreTest, DeadlineDegradesInsteadOfHanging) {
     EXPECT_EQ(job.attempts, 1) << "deadline failures must not be retried";
     EXPECT_NE(job.detail.find("deadline exceeded"), std::string::npos);
   }
+}
+
+TEST(ExploreTest, BackoffSleepHonorsTheJobDeadline) {
+  // Every attempt fails transient, and the configured backoff (60 s)
+  // dwarfs the 300 ms job deadline. The deadline token spans the
+  // backoff sleeps too, so each job must abort its first backoff within
+  // ~deadline — a retry can never overshoot its job's budget by
+  // sleeping — instead of blocking the sweep for minutes.
+  fault::ScopedSpec spec("profile");
+  ExploreOptions options = EngineSweep();
+  options.deadline_ms = 300;
+  options.retry.max_attempts = 3;
+  options.retry.base_ms = 60000;
+  options.retry.max_ms = 60000;
+  const auto start = std::chrono::steady_clock::now();
+  const ExploreReport report = RunExplore(options);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // 4 jobs x ~300 ms deadline, with slack for slow machines — but far
+  // below even a single completed 60 s backoff.
+  EXPECT_LT(elapsed.count(), 30000) << "a backoff sleep ignored the deadline";
+  ASSERT_EQ(report.jobs.size(), 4u);
+  for (const JobResult& job : report.jobs) {
+    EXPECT_EQ(job.status, JobStatus::kFailed);
+    EXPECT_EQ(job.attempts, 1) << "the retry should have died in backoff";
+    EXPECT_NE(job.detail.find("deadline exceeded during retry backoff"),
+              std::string::npos)
+        << job.detail;
+  }
+  bool breaker_on_backoff = false;
+  for (const Diagnostic& d : report.notes) {
+    breaker_on_backoff |= d.code == "runner.breaker" &&
+                          d.message.find("retry backoff") != std::string::npos;
+  }
+  EXPECT_TRUE(breaker_on_backoff);
 }
 
 TEST(ExploreTest, ChaosReportMatchesCleanReport) {

@@ -1,0 +1,409 @@
+// Concurrency suite for the parallel exploration runner, written to
+// run under ThreadSanitizer (the `tsan` preset): the bounded MPSC
+// queue (FIFO, backpressure, close), the worker pool, the
+// deterministic in-order merge, per-job thread-local fault scoping
+// (two concurrent jobs must never observe each other's injected
+// faults), the thread-safe journal writer under concurrent producers,
+// and the headline identities — an N-worker sweep renders a report
+// and writes a journal byte-identical to a 1-worker run, clean, under
+// chaos, and across a resume.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "runner/explore.h"
+#include "runner/journal.h"
+#include "runner/worker_pool.h"
+
+namespace lopass::runner {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "lopass_" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+// --- BoundedMpscQueue -------------------------------------------------
+
+TEST(BoundedMpscQueueTest, FifoSingleThread) {
+  BoundedMpscQueue<int> q(8);
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  int v = 0;
+  ASSERT_TRUE(q.Pop(v));
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(q.Pop(v));
+  EXPECT_EQ(v, 2);
+  ASSERT_TRUE(q.Pop(v));
+  EXPECT_EQ(v, 3);
+  q.Close();
+  EXPECT_FALSE(q.Pop(v));
+}
+
+TEST(BoundedMpscQueueTest, CloseDrainsRemainingItemsFirst) {
+  BoundedMpscQueue<int> q(4);
+  q.Push(7);
+  q.Push(8);
+  q.Close();
+  int v = 0;
+  ASSERT_TRUE(q.Pop(v));
+  EXPECT_EQ(v, 7);
+  ASSERT_TRUE(q.Pop(v));
+  EXPECT_EQ(v, 8);
+  EXPECT_FALSE(q.Pop(v));
+  EXPECT_FALSE(q.Pop(v));  // stays drained
+}
+
+TEST(BoundedMpscQueueTest, BackpressureBlocksProducerUntilConsumed) {
+  BoundedMpscQueue<int> q(2);
+  q.Push(0);
+  q.Push(1);  // queue now full
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.Push(2);  // must block until the consumer makes room
+    third_pushed.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load(std::memory_order_acquire))
+      << "Push must block while the queue is at capacity";
+  int v = 0;
+  ASSERT_TRUE(q.Pop(v));
+  EXPECT_EQ(v, 0);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load(std::memory_order_acquire));
+  ASSERT_TRUE(q.Pop(v));
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(q.Pop(v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(BoundedMpscQueueTest, ManyProducersOneConsumerLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedMpscQueue<int> q(3);  // tiny bound: constant backpressure
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  std::vector<int> seen;
+  seen.reserve(kProducers * kPerProducer);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    int v = 0;
+    ASSERT_TRUE(q.Pop(v));
+    seen.push_back(v);
+  }
+  for (std::thread& t : producers) t.join();
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)], i) << "lost or duplicated item";
+  }
+}
+
+// --- WorkerPool -------------------------------------------------------
+
+TEST(WorkerPoolTest, RunsEveryJobExactlyOnce) {
+  constexpr std::size_t kJobs = 1000;
+  std::vector<std::atomic<int>> runs(kJobs);
+  for (auto& r : runs) r.store(0);
+  {
+    WorkerPool pool(8, kJobs, [&](std::size_t i) {
+      runs[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    pool.Join();
+  }
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "job " << i;
+  }
+}
+
+TEST(WorkerPoolTest, MoreWorkersThanJobsIsFine) {
+  std::atomic<int> total{0};
+  WorkerPool pool(16, 3, [&](std::size_t) { total.fetch_add(1); });
+  pool.Join();
+  EXPECT_EQ(total.load(), 3);
+}
+
+// --- OrderedMerger ----------------------------------------------------
+
+TEST(OrderedMergerTest, ReleasesShuffledCompletionsInIndexOrder) {
+  // A worst-case completion order: all high indices first.
+  const std::vector<std::size_t> arrival = {9, 7, 8, 3, 5, 4, 6, 0, 2, 1};
+  OrderedMerger<std::size_t> merger;
+  std::vector<std::size_t> committed;
+  for (const std::size_t index : arrival) {
+    merger.Add(index, index * 10, [&](std::size_t i, std::size_t&& v) {
+      EXPECT_EQ(v, i * 10);
+      committed.push_back(i);
+    });
+  }
+  EXPECT_TRUE(merger.drained());
+  EXPECT_EQ(merger.committed(), 10u);
+  for (std::size_t i = 0; i < committed.size(); ++i) EXPECT_EQ(committed[i], i);
+}
+
+TEST(OrderedMergerTest, HoldsBackUntilTheMissingIndexArrives) {
+  OrderedMerger<int> merger;
+  int commits = 0;
+  const auto count = [&](std::size_t, int&&) { ++commits; };
+  merger.Add(1, 10, count);
+  merger.Add(2, 20, count);
+  EXPECT_EQ(commits, 0) << "nothing may commit before index 0 exists";
+  EXPECT_FALSE(merger.drained());
+  merger.Add(0, 0, count);
+  EXPECT_EQ(commits, 3);
+  EXPECT_TRUE(merger.drained());
+}
+
+// --- per-job fault scoping (satellite: concurrent jobs must never ----
+// --- observe each other's injected faults) ----------------------------
+
+TEST(JobScopeTest, ShadowsTheGlobalSpecOnThisThreadOnly) {
+  ASSERT_EQ(fault::CurrentSpec(), "");
+  fault::JobScope scope("sim:1");
+  EXPECT_EQ(fault::CurrentSpec(), "sim:1");
+  EXPECT_TRUE(fault::Enabled());
+  std::string other_thread_spec = "unset";
+  std::thread([&] { other_thread_spec = fault::CurrentSpec(); }).join();
+  EXPECT_EQ(other_thread_spec, "") << "a JobScope must not leak across threads";
+}
+
+TEST(JobScopeTest, NestsAndRestores) {
+  fault::JobScope outer("alloc");
+  EXPECT_EQ(fault::CurrentSpec(), "alloc");
+  {
+    fault::JobScope inner("sim:2");
+    EXPECT_EQ(fault::CurrentSpec(), "sim:2");
+    // The inner scope has its own counters: first sim hit is hit 1.
+    EXPECT_NO_THROW(fault::MaybeInject("sim"));
+    EXPECT_THROW(fault::MaybeInject("sim"), InjectedFault);
+  }
+  EXPECT_EQ(fault::CurrentSpec(), "alloc");
+  EXPECT_THROW(fault::MaybeInject("alloc"), InjectedFault);
+}
+
+TEST(JobScopeTest, OneShotArmFiresOncePerScope) {
+  for (int round = 0; round < 3; ++round) {
+    fault::JobScope scope("synth:2");
+    EXPECT_NO_THROW(fault::MaybeInject("synth"));
+    EXPECT_THROW(fault::MaybeInject("synth"), InjectedFault);
+    EXPECT_NO_THROW(fault::MaybeInject("synth"));  // fired, stays disarmed
+    EXPECT_EQ(fault::HitCount("synth"), 3u);
+  }
+}
+
+TEST(JobScopeTest, ConcurrentJobsNeverObserveEachOthersFaults) {
+  // Job A arms `sim` on every hit; job B arms `alloc:5` only. Both
+  // hammer both sites in lockstep: A must see every sim hit fire and
+  // no alloc fault; B the exact opposite, with its one-shot landing
+  // precisely on its own 5th hit — regardless of interleaving.
+  constexpr int kHits = 2000;
+  std::barrier sync(2);
+  std::atomic<int> a_sim_faults{0}, a_alloc_faults{0};
+  std::atomic<int> b_sim_faults{0}, b_alloc_faults{0};
+  std::atomic<std::uint64_t> b_fault_hit{0};
+
+  std::thread job_a([&] {
+    fault::JobScope scope("sim");
+    sync.arrive_and_wait();  // overlap the hot loops
+    for (int i = 0; i < kHits; ++i) {
+      try {
+        fault::MaybeInject("sim");
+      } catch (const InjectedFault&) {
+        a_sim_faults.fetch_add(1, std::memory_order_relaxed);
+      }
+      try {
+        fault::MaybeInject("alloc");
+      } catch (const InjectedFault&) {
+        a_alloc_faults.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread job_b([&] {
+    fault::JobScope scope("alloc:5");
+    sync.arrive_and_wait();
+    for (int i = 0; i < kHits; ++i) {
+      try {
+        fault::MaybeInject("sim");
+      } catch (const InjectedFault&) {
+        b_sim_faults.fetch_add(1, std::memory_order_relaxed);
+      }
+      try {
+        fault::MaybeInject("alloc");
+      } catch (const InjectedFault&) {
+        b_alloc_faults.fetch_add(1, std::memory_order_relaxed);
+        b_fault_hit.store(fault::HitCount("alloc"), std::memory_order_relaxed);
+      }
+    }
+  });
+  job_a.join();
+  job_b.join();
+
+  EXPECT_EQ(a_sim_faults.load(), kHits);
+  EXPECT_EQ(a_alloc_faults.load(), 0) << "job A observed job B's fault";
+  EXPECT_EQ(b_sim_faults.load(), 0) << "job B observed job A's fault";
+  EXPECT_EQ(b_alloc_faults.load(), 1);
+  EXPECT_EQ(b_fault_hit.load(), 5u) << "one-shot must land on B's own 5th hit";
+  // Neither scope touched the global table.
+  EXPECT_EQ(fault::CurrentSpec(), "");
+  EXPECT_EQ(fault::HitCount("sim"), 0u);
+  EXPECT_EQ(fault::HitCount("alloc"), 0u);
+}
+
+// --- thread-safe journal writer ---------------------------------------
+
+TEST(ParallelJournalTest, ConcurrentProducersNeverTearRecords) {
+  const std::string path = TempPath("journal_concurrent.jsonl");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  {
+    JournalWriter writer(path, /*truncate=*/true);
+    std::vector<std::thread> producers;
+    producers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      producers.emplace_back([&writer, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          writer.Append("{\"thread\":" + std::to_string(t) + ",\"i\":" +
+                        std::to_string(i) + "}");
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    EXPECT_EQ(writer.lines_written(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  }
+  const JournalLoad load = LoadJournal(path);
+  EXPECT_TRUE(load.warnings.empty()) << "interleaved bytes corrupted a record";
+  ASSERT_EQ(load.records.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  // Every record intact and each thread's records in its program order.
+  std::vector<int> next_index(kThreads, 0);
+  for (const std::string& record : load.records) {
+    const auto thread = JsonIntField(record, "thread");
+    const auto index = JsonIntField(record, "i");
+    ASSERT_TRUE(thread.has_value() && index.has_value());
+    const int t = static_cast<int>(*thread);
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    EXPECT_EQ(*index, next_index[static_cast<std::size_t>(t)]++)
+        << "thread " << t << " records out of order";
+  }
+  std::remove(path.c_str());
+}
+
+// --- the headline identities ------------------------------------------
+
+ExploreOptions EngineSweep() {
+  ExploreOptions options;
+  options.apps = {"engine"};
+  options.scale = 1;
+  return options;
+}
+
+TEST(ParallelExploreTest, ReportIsIdenticalAcrossWorkerCounts) {
+  ExploreOptions sequential = EngineSweep();
+  const ExploreReport baseline = RunExplore(sequential);
+  ASSERT_EQ(baseline.jobs.size(), 4u);
+  for (const int jobs : {2, 4, 8}) {
+    ExploreOptions parallel = EngineSweep();
+    parallel.jobs = jobs;
+    const ExploreReport report = RunExplore(parallel);
+    EXPECT_EQ(report.Render(), baseline.Render()) << "--jobs " << jobs;
+    ASSERT_EQ(report.jobs.size(), baseline.jobs.size());
+    for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+      EXPECT_EQ(report.jobs[i].seed, baseline.jobs[i].seed) << "job " << i;
+      EXPECT_EQ(report.jobs[i].attempts, baseline.jobs[i].attempts) << "job " << i;
+    }
+  }
+}
+
+TEST(ParallelExploreTest, JournalBytesAreIdenticalAcrossWorkerCounts) {
+  const std::string seq_path = TempPath("parallel_journal_seq.jsonl");
+  const std::string par_path = TempPath("parallel_journal_par.jsonl");
+  ExploreOptions sequential = EngineSweep();
+  sequential.journal_path = seq_path;
+  const ExploreReport a = RunExplore(sequential);
+  ExploreOptions parallel = EngineSweep();
+  parallel.journal_path = par_path;
+  parallel.jobs = 8;
+  const ExploreReport b = RunExplore(parallel);
+  EXPECT_EQ(a.Render(), b.Render());
+  EXPECT_EQ(ReadFile(seq_path), ReadFile(par_path))
+      << "the committer must journal completions in job-queue order";
+  std::remove(seq_path.c_str());
+  std::remove(par_path.c_str());
+}
+
+TEST(ParallelExploreTest, ChaosUnderParallelismMatchesTheCleanSequentialRun) {
+  const ExploreReport clean = RunExplore(EngineSweep());
+  for (const std::uint64_t chaos_seed : {7ull, 99ull}) {
+    ExploreOptions options = EngineSweep();
+    options.jobs = 4;
+    options.chaos = true;
+    options.chaos_seed = chaos_seed;
+    options.retry.max_attempts = 4;  // room to absorb two one-shot faults
+    const ExploreReport chaos = RunExplore(options);
+    EXPECT_EQ(chaos.Render(), clean.Render()) << "chaos seed " << chaos_seed;
+    bool scheduled = false;
+    for (const Diagnostic& d : chaos.notes) scheduled |= d.code == "runner.chaos";
+    EXPECT_TRUE(scheduled);
+  }
+}
+
+TEST(ParallelExploreTest, ResumeOfAParallelSweepIsByteIdentical) {
+  const std::string path = TempPath("parallel_resume.jsonl");
+  ExploreOptions options = EngineSweep();
+  options.journal_path = path;
+  options.jobs = 4;
+  const ExploreReport full = RunExplore(options);
+  ASSERT_EQ(full.jobs.size(), 4u);
+
+  // Keep the first two committed lines — in-order commit guarantees
+  // they are jobs 0 and 1 even though 4 workers raced — then resume
+  // with a different worker count.
+  std::istringstream journal(ReadFile(path));
+  std::string line1, line2;
+  std::getline(journal, line1);
+  std::getline(journal, line2);
+  WriteFile(path, line1 + "\n" + line2 + "\n");
+
+  ExploreOptions resume = options;
+  resume.resume = true;
+  resume.jobs = 8;
+  const ExploreReport resumed = RunExplore(resume);
+  ASSERT_EQ(resumed.jobs.size(), 4u);
+  EXPECT_TRUE(resumed.jobs[0].replayed);
+  EXPECT_TRUE(resumed.jobs[1].replayed);
+  EXPECT_FALSE(resumed.jobs[2].replayed);
+  EXPECT_EQ(resumed.Render(), full.Render());
+  EXPECT_EQ(LoadJournal(path).records.size(), 4u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lopass::runner

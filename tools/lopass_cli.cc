@@ -31,7 +31,10 @@
 //     --resume JOURNAL        resume: replay committed records, run the rest
 //     --apps A,B,...          applications to sweep (default: all six)
 //     --scale N               workload scale (default 1)
-//     --deadline-ms N         per-job wall-clock deadline (0 = none)
+//     --jobs N                worker threads draining the job queue
+//                             (default 1; report stays byte-identical)
+//     --deadline-ms N         per-job wall-clock deadline covering all
+//                             attempts and backoff sleeps (0 = none)
 //     --retries N             attempts per job incl. the first (default 3)
 //     --backoff-ms N          retry backoff base; 0 disables sleeping
 //     --chaos SEED            chaos mode: randomized one-shot fault schedules
@@ -107,7 +110,7 @@ struct ScalarSet {
                "       [--app NAME] [--list-codes] [--no-partition-checks]\n"
                "       [-Wno-CODE] [-Werror[=CODE]]\n"
                "   or: lopass_cli explore [--journal PATH | --resume JOURNAL]\n"
-               "       [--apps A,B,...] [--scale N] [--deadline-ms N]\n"
+               "       [--apps A,B,...] [--scale N] [--jobs N] [--deadline-ms N]\n"
                "       [--retries N] [--backoff-ms N] [--chaos SEED] [--seed S]\n"
                "exit codes: 0 ok, 1 pipeline error, 2 usage error\n");
   std::exit(2);
@@ -261,6 +264,11 @@ int RunExplore(int argc, char** argv) {
     } else if (a == "--scale") {
       options.scale = static_cast<int>(ParseIntArg(next(), "--scale"));
       if (options.scale < 1) Usage("--scale wants a positive factor");
+    } else if (a == "--jobs") {
+      options.jobs = static_cast<int>(ParseIntArg(next(), "--jobs"));
+      if (options.jobs < 1 || options.jobs > 256) {
+        Usage("--jobs wants a worker count in [1, 256]");
+      }
     } else if (a == "--deadline-ms") {
       options.deadline_ms = ParseIntArg(next(), "--deadline-ms");
     } else if (a == "--retries") {
