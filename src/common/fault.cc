@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/prng.h"
+
 namespace lopass::fault {
 
 namespace {
@@ -159,6 +161,29 @@ std::uint64_t HitCount(const char* site) {
   std::lock_guard<std::mutex> lock(st.mu);
   auto it = st.table.hits.find(site);
   return it == st.table.hits.end() ? 0 : it->second;
+}
+
+std::string ChaosSchedule(std::uint64_t seed, std::string_view job_key,
+                          const std::vector<std::string_view>& sites) {
+  if (sites.empty()) return "";
+  // FNV-1a folds the job key into the seed, so the schedule is a pure
+  // function of (seed, key) — the shard-layout invariance the contract
+  // in the header promises.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char ch : job_key) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  Prng rng(seed ^ h);
+  const int arms = 1 + static_cast<int>(rng.next_below(2));
+  std::string spec;
+  for (int i = 0; i < arms; ++i) {
+    const std::string_view site = sites[rng.next_below(sites.size())];
+    const std::uint64_t hit = 1 + rng.next_below(3);
+    if (!spec.empty()) spec += ",";
+    spec += std::string(site) + ":" + std::to_string(hit);
+  }
+  return spec;
 }
 
 ScopedSpec::ScopedSpec(const std::string& spec) {

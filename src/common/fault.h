@@ -32,6 +32,8 @@
 #include <exception>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/error.h"
 
@@ -82,6 +84,20 @@ void ReloadFromEnv();
 
 // Hits recorded for `site` since the last SetSpec/ReloadFromEnv.
 std::uint64_t HitCount(const char* site);
+
+// Derives one job's randomized chaos fault schedule: one or two
+// one-shot `site:N` arms drawn from `sites`, in the spec grammar above.
+// The draw depends on (seed, job_key) alone — never on process
+// identity, shard layout, worker count, or evaluation order — so a
+// chaos sweep composes deterministically with in-process parallelism
+// (`explore --jobs N`) and process-level sharding (`explore --shard
+// I/M`): every way of draining the same queue injects the same faults
+// into the same jobs. One-shot arms are essential to the runners'
+// convergence contract: the fault fires on a job's first attempt and is
+// disarmed (inside that job's JobScope) before the retry, so a
+// supervised chaos sweep must reproduce the clean run's exact report.
+std::string ChaosSchedule(std::uint64_t seed, std::string_view job_key,
+                          const std::vector<std::string_view>& sites);
 
 // RAII spec installation for tests; restores the previous spec.
 // Global: every thread sees it, and counters are shared.

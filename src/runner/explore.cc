@@ -69,28 +69,13 @@ JobStatus StatusFromName(const std::string& name) {
   return JobStatus::kFailed;
 }
 
-// Fault sites the chaos scheduler may arm. All are reached inside
-// Partitioner::Run, so a one-shot arm is guaranteed to be consumed by
-// the first attempt (and therefore disarmed before the retry).
-constexpr const char* kChaosSites[] = {"alloc", "profile", "sim",
-                                       "schedule", "synth", "estimate"};
-
-// Derives this job's randomized fault schedule: one or two one-shot
-// `site:N` arms. One-shot is essential — the fault fires on the first
-// attempt and is disarmed by the time the retry runs, which is what
-// lets a chaos sweep converge to the clean run's exact report.
-std::string ChaosSpec(std::uint64_t chaos_seed, const std::string& job_key) {
-  Prng rng(chaos_seed ^ Fnv1a(job_key));
-  const int arms = 1 + static_cast<int>(rng.next_below(2));
-  std::string spec;
-  for (int i = 0; i < arms; ++i) {
-    const char* site = kChaosSites[rng.next_below(std::size(kChaosSites))];
-    const std::uint64_t hit = 1 + rng.next_below(3);
-    if (!spec.empty()) spec += ",";
-    spec += std::string(site) + ":" + std::to_string(hit);
-  }
-  return spec;
-}
+// Fault sites the chaos scheduler (fault::ChaosSchedule) may arm. All
+// are reached inside Partitioner::Run, so a one-shot arm is guaranteed
+// to be consumed by the first attempt (and therefore disarmed before
+// the retry) — which is what lets a chaos sweep converge to the clean
+// run's exact report.
+const std::vector<std::string_view> kChaosSites = {"alloc", "profile", "sim",
+                                                   "schedule", "synth", "estimate"};
 
 std::string ComposeSpec(const std::string& base, const std::string& extra) {
   if (base.empty()) return extra;
@@ -98,7 +83,9 @@ std::string ComposeSpec(const std::string& base, const std::string& extra) {
   return base + "," + extra;
 }
 
-std::string RecordJson(const JobResult& job) {
+}  // namespace
+
+std::string JobRecordJson(const JobResult& job) {
   std::ostringstream os;
   os << "{\"app\":\"" << JsonEscape(job.app) << "\""
      << ",\"rs\":\"" << JsonEscape(job.resource_set) << "\""
@@ -115,7 +102,7 @@ std::string RecordJson(const JobResult& job) {
   return os.str();
 }
 
-bool ParseRecord(const std::string& record, JobResult& job) {
+bool ParseJobRecord(const std::string& record, JobResult& job) {
   const auto app = JsonStringField(record, "app");
   const auto rs = JsonStringField(record, "rs");
   const auto seed = JsonStringField(record, "seed");
@@ -146,6 +133,8 @@ bool ParseRecord(const std::string& record, JobResult& job) {
   job.detail = *detail;
   return true;
 }
+
+namespace {
 
 // Deterministic SIGKILL switch for the crash/resume ctest: when
 // LOPASS_EXPLORE_KILL_AFTER=N is set, the process kills itself (no
@@ -324,8 +313,12 @@ Completion EvaluateJob(const JobSpec& spec, const ExploreOptions& options,
   // thread-local JobScope, installed once per *job*: a one-shot arm
   // consumed by attempt 1 must stay disarmed for the retries, and a
   // concurrent job on another worker must never see (or consume) it.
+  // The schedule is a pure function of (chaos seed, job key) — see
+  // fault::ChaosSchedule — so it is identical no matter which worker,
+  // process, or shard evaluates the job.
   const std::string chaos_spec =
-      options.chaos ? ChaosSpec(options.chaos_seed, spec.key) : std::string();
+      options.chaos ? fault::ChaosSchedule(options.chaos_seed, spec.key, kChaosSites)
+                    : std::string();
   std::unique_ptr<fault::JobScope> scoped;
   if (!chaos_spec.empty()) {
     scoped = std::make_unique<fault::JobScope>(
@@ -458,21 +451,79 @@ ExploreReport RunExplore(const ExploreOptions& options) {
     }
   }
 
+  const int scale = options.scale > 0 ? options.scale : 1;
+
+  // Build the full job queue first — sharding below filters it, but the
+  // shard header must pin the whole sweep it is a slice of.
+  std::vector<JobSpec> queue;
+  for (const apps::Application& app : apps) {
+    for (const sched::ResourceSet& rs : app.options.resource_sets) {
+      queue.push_back(JobSpec{&app, &rs, app.name + "/" + rs.name});
+    }
+  }
+
+  // Sharding: this process owns the jobs congruent to shard->index
+  // modulo shard->count; the journal moves to the shard file and opens
+  // with a header record pinning the sweep configuration, which resume
+  // validates and merge-journals uses to splice the set back together.
+  std::string journal_path = options.journal_path;
+  std::string header_json;
+  if (options.shard.has_value()) {
+    const ShardSpec& shard = *options.shard;
+    ShardHeader header;
+    header.shard = shard;
+    header.total_jobs = static_cast<std::int64_t>(queue.size());
+    for (const apps::Application& app : apps) {
+      if (!header.apps.empty()) header.apps += ",";
+      header.apps += app.name;
+    }
+    header.scale = scale;
+    header.base_seed = options.base_seed;
+    header.chaos = options.chaos;
+    header.chaos_seed = options.chaos ? options.chaos_seed : 0;
+    header_json = ShardHeaderJson(header);
+    if (!journal_path.empty()) journal_path = ShardJournalPath(journal_path, shard);
+
+    std::vector<JobSpec> mine;
+    for (std::size_t i = static_cast<std::size_t>(shard.index); i < queue.size();
+         i += static_cast<std::size_t>(shard.count)) {
+      mine.push_back(std::move(queue[i]));
+    }
+    queue = std::move(mine);
+  }
+
   // Replay the committed prefix on resume.
   std::unordered_map<std::string, JobResult> replayed;
-  if (options.resume && !options.journal_path.empty()) {
-    JournalLoad load = LoadJournal(options.journal_path);
+  bool header_replayed = false;
+  if (options.resume && !journal_path.empty()) {
+    JournalLoad load = LoadJournal(journal_path);
     for (const std::string& warning : load.warnings) {
       report.notes.push_back(
           Diagnostic{Severity::kWarning, "runner.journal", SourceLoc{}, warning});
     }
     for (const std::string& record : load.records) {
+      if (IsShardHeader(record)) {
+        if (!options.shard.has_value()) {
+          report.notes.push_back(Diagnostic{
+              Severity::kWarning, "runner.journal", SourceLoc{},
+              "journal '" + journal_path + "' holds a shard header — resuming a "
+              "shard journal without --shard; skipping the header"});
+          continue;
+        }
+        if (!header_replayed && record == header_json) {
+          header_replayed = true;
+          continue;
+        }
+        throw Error("shard journal '" + journal_path +
+                    "' was written by a different sweep (expected header " +
+                    header_json + ", found " + record + ")");
+      }
       JobResult job;
-      if (!ParseRecord(record, job)) {
+      if (!ParseJobRecord(record, job)) {
         report.notes.push_back(Diagnostic{Severity::kWarning, "runner.journal",
                                           SourceLoc{},
                                           "unparseable record in journal '" +
-                                              options.journal_path + "'; skipping"});
+                                              journal_path + "'; skipping"});
         continue;
       }
       const std::string key = job.app + "/" + job.resource_set;
@@ -487,19 +538,17 @@ ExploreReport RunExplore(const ExploreOptions& options) {
   }
 
   std::unique_ptr<JournalWriter> journal;
-  if (!options.journal_path.empty()) {
-    journal = std::make_unique<JournalWriter>(options.journal_path,
+  if (!journal_path.empty()) {
+    journal = std::make_unique<JournalWriter>(journal_path,
                                               /*truncate=*/!options.resume);
-  }
-
-  std::vector<JobSpec> queue;
-  for (const apps::Application& app : apps) {
-    for (const sched::ResourceSet& rs : app.options.resource_sets) {
-      queue.push_back(JobSpec{&app, &rs, app.name + "/" + rs.name});
+    // A shard journal always opens with its header: written on a fresh
+    // run, and on a resume whose journal did not already hold one (a
+    // crash before the very first flush, or a missing file).
+    if (options.shard.has_value() && !header_replayed) {
+      journal->Append(header_json);
+      MaybeKillAfter(journal->lines_written());
     }
   }
-
-  const int scale = options.scale > 0 ? options.scale : 1;
   CompileCache compiled;
 
   // The commit path — the single place order-sensitive effects happen,
@@ -510,7 +559,7 @@ ExploreReport RunExplore(const ExploreOptions& options) {
     report.jobs.push_back(std::move(done.job));
     for (Diagnostic& d : done.notes) report.notes.push_back(std::move(d));
     if (journal != nullptr && !report.jobs.back().replayed) {
-      journal->Append(RecordJson(report.jobs.back()));
+      journal->Append(JobRecordJson(report.jobs.back()));
       MaybeKillAfter(journal->lines_written());
     }
   };

@@ -191,6 +191,7 @@ JournalLoad LoadJournal(const std::string& path) {
 
   std::size_t line_no = 0;
   std::size_t start = 0;
+  std::string_view previous_line;  // previous non-empty line, for duplicate detection
   while (start < content.size()) {
     std::size_t end = content.find('\n', start);
     const bool torn = end == std::string::npos;  // no trailing newline: interrupted append
@@ -201,9 +202,24 @@ JournalLoad LoadJournal(const std::string& path) {
     if (line.empty()) continue;
 
     const auto warn = [&](const std::string& why) {
+      ++load.corrupt;
       load.warnings.push_back("journal '" + path + "' line " + std::to_string(line_no) +
                               ": " + why + "; skipping");
+      load.warning_lines.push_back(line_no);
     };
+
+    // A line byte-identical to the intact line right before it is the
+    // double-append a crash between the journal flush and the caller's
+    // commit bookkeeping leaves behind: zero information, skip it.
+    if (!previous_line.empty() && line == previous_line) {
+      ++load.duplicates;
+      load.warnings.push_back("journal '" + path + "' line " + std::to_string(line_no) +
+                              ": byte-identical duplicate of the previous record; "
+                              "skipping");
+      load.warning_lines.push_back(line_no);
+      continue;
+    }
+    previous_line = line;
 
     // Wrapper shape: {"crc32":"xxxxxxxx","record":<payload>}
     static constexpr std::string_view kPrefix = "{\"crc32\":\"";
@@ -242,6 +258,13 @@ JournalLoad LoadJournal(const std::string& path) {
       continue;
     }
     load.records.emplace_back(record);
+    load.record_lines.push_back(line_no);
+  }
+  if (load.corrupt + load.duplicates > 0) {
+    load.warnings.push_back("journal '" + path + "': skipped " +
+                            std::to_string(load.corrupt) + " corrupt / " +
+                            std::to_string(load.duplicates) + " duplicate records");
+    load.warning_lines.push_back(0);
   }
   return load;
 }

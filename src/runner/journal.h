@@ -80,16 +80,31 @@ class JournalWriter {
 
 struct JournalLoad {
   // Verified record payloads (the `record` substring of each line), in
-  // file order.
+  // file order, with the 1-based physical line each came from. The
+  // line numbers are what positional consumers (the shard splice,
+  // runner/merge.h) key on: a skipped line still consumes its line
+  // number, so surviving records never shift position.
   std::vector<std::string> records;
+  std::vector<std::size_t> record_lines;
   // One human-readable warning per skipped line (truncated tail,
-  // checksum mismatch, malformed wrapper).
+  // checksum mismatch, malformed wrapper, byte-identical duplicate),
+  // plus — whenever anything was skipped — one final summary line
+  // ("skipped N corrupt / D duplicate records") so a resume reports
+  // its total loss in one place. warning_lines is parallel (0 for the
+  // summary, which belongs to no single line).
   std::vector<std::string> warnings;
+  std::vector<std::size_t> warning_lines;
+  // Skip counts behind the summary.
+  std::size_t corrupt = 0;
+  std::size_t duplicates = 0;
 };
 
 // Reads every line of the journal at `path`, verifying wrapper shape
 // and checksum. A missing file yields an empty load (fresh start);
-// corrupt lines are skipped and warned about, never fatal.
+// corrupt lines are skipped and warned about, never fatal. A line that
+// is byte-identical to the line directly before it (the
+// double-append shape a crash between write and commit bookkeeping can
+// leave behind) is skipped as a duplicate.
 JournalLoad LoadJournal(const std::string& path);
 
 // Serializes one wrapper line (checksum + record) the writer/reader

@@ -1,0 +1,223 @@
+#include "runner/merge.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.h"
+#include "runner/journal.h"
+
+namespace lopass::runner {
+namespace {
+
+// One shard journal after loading: its header plus the data records
+// that survived, each with its physical line number (the positional
+// record-to-job mapping of shard.h needs the line, not the position in
+// the salvaged list — a skipped line must still consume its job slot).
+struct ShardFile {
+  std::string path;
+  ShardHeader header;
+  std::size_t header_line = 0;
+  std::vector<std::string> records;
+  std::vector<std::size_t> lines;
+};
+
+// Everything two shards of one sweep must share: the header minus the
+// shard's own index.
+bool SameSweep(const ShardHeader& a, const ShardHeader& b) {
+  return a.shard.count == b.shard.count && a.total_jobs == b.total_jobs &&
+         a.apps == b.apps && a.scale == b.scale && a.base_seed == b.base_seed &&
+         a.chaos == b.chaos && a.chaos_seed == b.chaos_seed;
+}
+
+}  // namespace
+
+MergeResult MergeJournals(const std::vector<std::string>& shard_paths) {
+  MergeResult result;
+  const auto fatal = [&](const std::string& file, std::size_t line,
+                         const std::string& msg) {
+    result.findings.push_back(MergeFinding{true, file, line, msg});
+  };
+  const auto note = [&](const std::string& file, std::size_t line,
+                        const std::string& msg) {
+    result.findings.push_back(MergeFinding{false, file, line, msg});
+  };
+
+  if (shard_paths.empty()) {
+    fatal("", 0, "no shard journals given");
+    return result;
+  }
+
+  std::vector<ShardFile> files;
+  for (const std::string& path : shard_paths) {
+    // LoadJournal treats a missing file as a fresh start; for a splice
+    // a named-but-absent input is an operator error, so probe first.
+    std::FILE* probe = std::fopen(path.c_str(), "rb");
+    if (probe == nullptr) {
+      fatal(path, 0, "cannot open shard journal");
+      continue;
+    }
+    std::fclose(probe);
+
+    const JournalLoad load = LoadJournal(path);
+    // The reader's salvage decisions (torn tail, checksum mismatches,
+    // the skip summary) are worth the operator's eyes, but are never by
+    // themselves a reason to reject the set — a crashed shard is
+    // exactly what this tool exists to splice. Their messages already
+    // carry path and line, so they pass through as set-level notes.
+    for (const std::string& warning : load.warnings) note("", 0, warning);
+
+    ShardFile file;
+    file.path = path;
+    bool have_header = false;
+    bool rejected = false;
+    for (std::size_t i = 0; i < load.records.size() && !rejected; ++i) {
+      const std::string& record = load.records[i];
+      const std::size_t line = load.record_lines[i];
+      if (!have_header) {
+        const auto header = ParseShardHeader(record);
+        if (!header.has_value()) {
+          fatal(path, line,
+                IsShardHeader(record)
+                    ? "malformed shard header"
+                    : "first record is not a shard header (not a shard journal?)");
+          rejected = true;
+          break;
+        }
+        file.header = *header;
+        file.header_line = line;
+        have_header = true;
+        continue;
+      }
+      if (IsShardHeader(record)) {
+        fatal(path, line, "second shard header mid-journal");
+        rejected = true;
+        break;
+      }
+      file.records.push_back(record);
+      file.lines.push_back(line);
+    }
+    if (rejected) continue;
+    if (!have_header) {
+      fatal(path, 1,
+            "no intact shard header (empty, truncated before the header, or "
+            "not a shard journal) — re-run this shard");
+      continue;
+    }
+    files.push_back(std::move(file));
+  }
+  if (result.malformed()) return result;
+
+  // Shard-set consistency: one sweep configuration, every shard index
+  // 0..M-1 present exactly once, in any file order.
+  const ShardHeader& ref = files.front().header;
+  const int shards = ref.shard.count;
+  std::map<int, const ShardFile*> by_index;
+  for (const ShardFile& file : files) {
+    if (!SameSweep(file.header, ref)) {
+      fatal(file.path, file.header_line,
+            "shard header disagrees with '" + files.front().path +
+                "' (different sweep configuration; shards of one run must share "
+                "queue, apps, scale, seed, and chaos settings)");
+      continue;
+    }
+    const auto [it, inserted] = by_index.emplace(file.header.shard.index, &file);
+    if (!inserted) {
+      fatal(file.path, file.header_line,
+            "overlap: shard " + std::to_string(file.header.shard.index) + "/" +
+                std::to_string(shards) + " already provided by '" +
+                it->second->path + "'");
+    }
+  }
+  if (result.malformed()) return result;
+  for (int i = 0; i < shards; ++i) {
+    if (by_index.count(i) == 0) {
+      fatal("", 0,
+            "gap: shard " + std::to_string(i) + "/" + std::to_string(shards) +
+                " is missing from the set — run it (or pass its journal) before "
+                "merging");
+    }
+  }
+  if (result.malformed()) return result;
+
+  // Positional splice: the data record on physical line L of shard I
+  // (header on line H) is global queue index I + (L - H - 1) * M.
+  struct Entry {
+    std::int64_t index = 0;
+    const std::string* record = nullptr;
+    const ShardFile* file = nullptr;
+    std::size_t line = 0;
+  };
+  std::vector<Entry> entries;
+  for (const auto& [shard_index, file] : by_index) {
+    for (std::size_t j = 0; j < file->records.size(); ++j) {
+      const std::int64_t ordinal =
+          static_cast<std::int64_t>(file->lines[j]) -
+          static_cast<std::int64_t>(file->header_line) - 1;
+      const std::int64_t global = shard_index + ordinal * shards;
+      if (global >= ref.total_jobs) {
+        fatal(file->path, file->lines[j],
+              "record maps beyond the sweep (job index " + std::to_string(global) +
+                  " of " + std::to_string(ref.total_jobs) +
+                  " jobs) — journal does not match its header");
+        continue;
+      }
+      entries.push_back(Entry{global, &file->records[j], file, file->lines[j]});
+    }
+  }
+  if (result.malformed()) return result;
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.index < b.index; });
+
+  // Parse every record and reject duplicate jobs: two records claiming
+  // one app/resource-set pair mean the shard files do not describe one
+  // clean sweep, and a silent merge would hide whichever result lost.
+  std::unordered_map<std::string, const Entry*> by_key;
+  for (const Entry& entry : entries) {
+    JobResult job;
+    if (!ParseJobRecord(*entry.record, job)) {
+      fatal(entry.file->path, entry.line,
+            "checksummed record is not a job record (schema mismatch)");
+      continue;
+    }
+    const std::string key = job.app + "/" + job.resource_set;
+    const auto [it, inserted] = by_key.emplace(key, &entry);
+    if (!inserted) {
+      fatal(entry.file->path, entry.line,
+            "duplicate job '" + key + "' (also at " + it->second->file->path + ":" +
+                std::to_string(it->second->line) + ")");
+      continue;
+    }
+    result.records.push_back(*entry.record);
+    result.indices.push_back(entry.index);
+    result.jobs.push_back(std::move(job));
+  }
+  if (result.malformed()) {
+    result.records.clear();
+    result.indices.clear();
+    result.jobs.clear();
+    return result;
+  }
+
+  result.header = ref;
+  result.missing = ref.total_jobs - static_cast<std::int64_t>(result.records.size());
+  if (result.missing > 0) {
+    note("", 0,
+         "merged " + std::to_string(result.records.size()) + " of " +
+             std::to_string(ref.total_jobs) + " jobs; " +
+             std::to_string(result.missing) +
+             " lost to truncation or corruption — `explore --resume` the merged "
+             "journal to re-run exactly the missing jobs");
+  }
+  return result;
+}
+
+void WriteMergedJournal(const MergeResult& result, const std::string& path) {
+  JournalWriter writer(path, /*truncate=*/true);
+  for (const std::string& record : result.records) writer.Append(record);
+}
+
+}  // namespace lopass::runner

@@ -1,0 +1,82 @@
+#pragma once
+
+// Journal splice: merges the shard journals of one sharded sweep
+// (runner/shard.h) back into the canonical sequential-order journal.
+//
+// The contract the property tests pin down:
+//
+//  - a complete shard set (every shard 0..M-1 present, every record
+//    intact) splices to a journal byte-identical to the one a
+//    single-process `--jobs 1` run of the same sweep writes — same
+//    records, same order, same wrapper bytes, no shard headers;
+//  - truncated or damaged shards are salvaged, not rejected: every
+//    intact record keeps its queue position (the mapping is positional,
+//    see shard.h), the merged journal is the canonical-order
+//    subsequence of what survived, and the loss is reported — such a
+//    journal is still a valid `explore --resume` input that re-runs
+//    exactly the missing jobs;
+//  - a *malformed* shard set is rejected with FILE:line diagnostics,
+//    never merged silently: a gap (missing shard index), an overlap
+//    (two files claiming one shard), mixed sweep configurations,
+//    records from a different queue (index beyond the sweep), or the
+//    same job appearing twice.
+//
+// The CLI verb `lopass_cli merge-journals` wraps this with the lint
+// exit-code contract: 0 complete merge and every job ok, 1 incomplete
+// merge or degraded/failed jobs, 2 malformed shard set.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/explore.h"
+#include "runner/shard.h"
+
+namespace lopass::runner {
+
+// One merge finding. `fatal` findings make the shard set malformed
+// (nothing is merged); non-fatal ones describe salvage decisions the
+// operator should see. `file`/`line` locate the finding when it is
+// tied to a journal line ("" / 0 for set-level findings).
+struct MergeFinding {
+  bool fatal = false;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct MergeResult {
+  // The sweep configuration the shard set agreed on (shard.index is
+  // meaningless here). Valid only when !malformed().
+  ShardHeader header;
+  // Merged record payloads in canonical queue order, with the global
+  // job index of each (indices[i] is the queue position of records[i]).
+  std::vector<std::string> records;
+  std::vector<std::int64_t> indices;
+  // The same records parsed into job results, for report rendering.
+  std::vector<JobResult> jobs;
+  // Jobs of the sweep not covered by any intact record (truncation /
+  // corruption loss). complete() means the merged journal is the whole
+  // sweep and byte-identical to a sequential run's.
+  std::int64_t missing = 0;
+  std::vector<MergeFinding> findings;
+
+  bool malformed() const {
+    for (const MergeFinding& f : findings) {
+      if (f.fatal) return true;
+    }
+    return false;
+  }
+  bool complete() const { return !malformed() && missing == 0; }
+};
+
+// Loads, validates and splices the given shard journals (any order).
+// Never throws on bad input — every problem lands in findings.
+MergeResult MergeJournals(const std::vector<std::string>& shard_paths);
+
+// Writes the merged records to `path` in the standard journal format
+// (one CRC-wrapped line per record, no shard header). Throws
+// lopass::Error when the file cannot be written.
+void WriteMergedJournal(const MergeResult& result, const std::string& path);
+
+}  // namespace lopass::runner

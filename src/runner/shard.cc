@@ -1,0 +1,91 @@
+#include "runner/shard.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "runner/journal.h"
+
+namespace lopass::runner {
+namespace {
+
+std::string SeedHex(std::uint64_t seed) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+bool ParseInt(std::string_view text, int& out) {
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+std::optional<ShardSpec> ParseShardSpec(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  ShardSpec spec;
+  if (!ParseInt(text.substr(0, slash), spec.index) ||
+      !ParseInt(text.substr(slash + 1), spec.count)) {
+    return std::nullopt;
+  }
+  if (spec.count < 1 || spec.count > 1024) return std::nullopt;
+  if (spec.index < 0 || spec.index >= spec.count) return std::nullopt;
+  return spec;
+}
+
+std::string ShardJournalPath(const std::string& journal_path, const ShardSpec& spec) {
+  return journal_path + ".shard-" + std::to_string(spec.index) + "-of-" +
+         std::to_string(spec.count);
+}
+
+std::string ShardHeaderJson(const ShardHeader& header) {
+  std::ostringstream os;
+  os << "{\"shard\":" << header.shard.index
+     << ",\"shards\":" << header.shard.count
+     << ",\"jobs\":" << header.total_jobs
+     << ",\"apps\":\"" << JsonEscape(header.apps) << "\""
+     << ",\"scale\":" << header.scale
+     << ",\"seed\":\"" << SeedHex(header.base_seed) << "\""
+     << ",\"chaos\":\""
+     << (header.chaos ? std::to_string(header.chaos_seed) : std::string()) << "\"}";
+  return os.str();
+}
+
+bool IsShardHeader(std::string_view record) {
+  return record.rfind("{\"shard\":", 0) == 0;
+}
+
+std::optional<ShardHeader> ParseShardHeader(std::string_view record) {
+  if (!IsShardHeader(record)) return std::nullopt;
+  const auto shard = JsonIntField(record, "shard");
+  const auto shards = JsonIntField(record, "shards");
+  const auto jobs = JsonIntField(record, "jobs");
+  const auto apps = JsonStringField(record, "apps");
+  const auto scale = JsonIntField(record, "scale");
+  const auto seed = JsonStringField(record, "seed");
+  const auto chaos = JsonStringField(record, "chaos");
+  if (!shard || !shards || !jobs || !apps || !scale || !seed || !chaos) {
+    return std::nullopt;
+  }
+  ShardHeader header;
+  header.shard.index = static_cast<int>(*shard);
+  header.shard.count = static_cast<int>(*shards);
+  if (header.shard.count < 1 || header.shard.count > 1024 ||
+      header.shard.index < 0 || header.shard.index >= header.shard.count) {
+    return std::nullopt;
+  }
+  header.total_jobs = *jobs;
+  if (header.total_jobs < 0) return std::nullopt;
+  header.apps = *apps;
+  header.scale = static_cast<int>(*scale);
+  header.base_seed = std::strtoull(seed->c_str(), nullptr, 16);
+  header.chaos = !chaos->empty();
+  header.chaos_seed = header.chaos ? std::strtoull(chaos->c_str(), nullptr, 10) : 0;
+  return header;
+}
+
+}  // namespace lopass::runner

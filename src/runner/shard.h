@@ -1,0 +1,67 @@
+#pragma once
+
+// Process-level sharding for the exploration runner.
+//
+// A sweep's job queue (application × designer resource set, in registry
+// order) is statically partitioned by job index: shard I of M evaluates
+// exactly the jobs whose queue position is congruent to I modulo M.
+// Each shard process journals only its own slice, to
+// `<journal>.shard-I-of-M`, and the first line of that file is a shard
+// header record (same CRC wrapper as every journal line) naming the
+// shard and pinning the sweep configuration every shard must share —
+// queue length, application list, scale, base seed, chaos seed. The
+// header is what lets `lopass_cli merge-journals` validate that a set
+// of shard files belongs to one sweep (no gaps, no overlaps, no
+// mixed configurations) and splice the records back into canonical
+// sequential order, byte-identical to a single-process run.
+//
+// Record-to-job mapping is positional, not stored: the data record on
+// physical line L of a shard file (header on line H) is the shard's
+// (L - H - 1)-th job, i.e. global queue index I + (L - H - 1) * M. A
+// corrupt line therefore loses exactly its own job — later records
+// keep their indices — which is what lets the splice salvage truncated
+// or damaged shards without mis-attributing anything.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lopass::runner {
+
+// One static 1-of-M slice of the job queue.
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+};
+
+// Parses "I/M" (0 <= I < M, M in [1, 1024]). Nullopt on anything else.
+std::optional<ShardSpec> ParseShardSpec(std::string_view text);
+
+// `<journal>.shard-I-of-M` — the file shard I journals to.
+std::string ShardJournalPath(const std::string& journal_path, const ShardSpec& spec);
+
+// The configuration a shard ran under. Everything except `shard.index`
+// must agree across the shard set of one sweep.
+struct ShardHeader {
+  ShardSpec shard;
+  std::int64_t total_jobs = 0;  // full (unsharded) queue length
+  std::string apps;             // swept applications, comma-separated
+  int scale = 1;
+  std::uint64_t base_seed = 0;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 0;
+};
+
+// Deterministic serialization (fixed field order and formatting), so
+// equal headers are byte-equal — resume validates by string compare.
+std::string ShardHeaderJson(const ShardHeader& header);
+
+// Cheap probe: does this record payload look like a shard header?
+bool IsShardHeader(std::string_view record);
+
+// Full parse; nullopt when a field is missing, malformed, or out of
+// range (e.g. shard index outside [0, count)).
+std::optional<ShardHeader> ParseShardHeader(std::string_view record);
+
+}  // namespace lopass::runner

@@ -1,0 +1,73 @@
+# Golden-reference comparison for one application (ctest -L golden).
+#
+#   cmake -DGOLDEN=path/to/golden_report -DAPP=name
+#         -DFIXTURE=tests/data/golden/name.txt [-DREGEN=1] -P golden_check.cmake
+#
+# Runs the golden_report binary and byte-compares its stdout with the
+# checked-in fixture. REGEN=1 rewrites the fixture instead (the
+# regen-golden build target) — review the diff before committing it.
+
+foreach(var GOLDEN APP FIXTURE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "golden_check.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${GOLDEN} ${APP}
+                OUTPUT_VARIABLE actual
+                ERROR_VARIABLE err
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "golden_report ${APP} exited ${rc}:\n${err}")
+endif()
+
+if(REGEN)
+  file(WRITE "${FIXTURE}" "${actual}")
+  message(STATUS "regenerated ${FIXTURE}")
+  return()
+endif()
+
+if(NOT EXISTS "${FIXTURE}")
+  message(FATAL_ERROR
+          "missing golden fixture ${FIXTURE} — generate it with:\n"
+          "  cmake --build build -t regen-golden")
+endif()
+
+file(READ "${FIXTURE}" expected)
+if(NOT actual STREQUAL expected)
+  # Show the first diverging lines so the failure is readable in ctest
+  # output without re-running anything.
+  string(REPLACE "\n" ";" actual_lines "${actual}")
+  string(REPLACE "\n" ";" expected_lines "${expected}")
+  set(diff "")
+  list(LENGTH actual_lines a_len)
+  list(LENGTH expected_lines e_len)
+  set(shown 0)
+  math(EXPR last "${a_len} - 1")
+  if(e_len GREATER a_len)
+    math(EXPR last "${e_len} - 1")
+  endif()
+  foreach(i RANGE ${last})
+    set(a_line "<eof>")
+    set(e_line "<eof>")
+    if(i LESS a_len)
+      list(GET actual_lines ${i} a_line)
+    endif()
+    if(i LESS e_len)
+      list(GET expected_lines ${i} e_line)
+    endif()
+    if(NOT a_line STREQUAL e_line)
+      math(EXPR lineno "${i} + 1")
+      string(APPEND diff "line ${lineno}:\n  expected: ${e_line}\n  actual:   ${a_line}\n")
+      math(EXPR shown "${shown} + 1")
+      if(shown EQUAL 8)
+        string(APPEND diff "  ...\n")
+        break()
+      endif()
+    endif()
+  endforeach()
+  message(FATAL_ERROR
+          "golden mismatch for '${APP}' vs ${FIXTURE}:\n${diff}"
+          "If the model change is intentional, regenerate with:\n"
+          "  cmake --build build -t regen-golden")
+endif()
